@@ -1,0 +1,102 @@
+"""Shared harness for the per-table / per-figure benchmarks.
+
+Full benchmark runs are expensive, so they are computed once per
+configuration and cached for the whole pytest session; the ``benchmark``
+fixture then measures a representative unit (usually one period) with a
+single round.  Every bench also *prints* the rows/series the paper
+reports and writes them to ``benchmarks/results/`` so the regenerated
+tables and figures are inspectable after the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.engine import (
+    EaiEngine,
+    EtlEngine,
+    FederatedEngine,
+    MtmInterpreterEngine,
+)
+from repro.scenario import build_scenario
+from repro.toolsuite import BenchmarkClient, ScaleFactors
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: (engine, datasize, time, distribution, periods, jitter) -> BenchmarkResult
+_RUN_CACHE: dict = {}
+
+ENGINES = {
+    "interpreter": MtmInterpreterEngine,
+    "federated": FederatedEngine,
+    "eai": EaiEngine,
+    "etl": EtlEngine,
+}
+
+
+def run_cached(
+    engine: str = "interpreter",
+    datasize: float = 0.05,
+    time: float = 1.0,
+    distribution: int = 0,
+    periods: int = 5,
+    jitter: float = 0.2,
+):
+    """Run (or fetch) one full benchmark at the given configuration."""
+    key = (engine, datasize, time, distribution, periods, jitter)
+    if key not in _RUN_CACHE:
+        scenario = build_scenario(jitter=jitter)
+        eng = ENGINES[engine](scenario.registry)
+        client = BenchmarkClient(
+            scenario,
+            eng,
+            ScaleFactors(datasize=datasize, time=time,
+                         distribution=distribution),
+            periods=periods,
+            seed=5,
+        )
+        result = client.run()
+        assert result.verification.ok, result.verification.summary()
+        _RUN_CACHE[key] = (result, client, scenario)
+    return _RUN_CACHE[key]
+
+
+def write_artifact(name: str, content: str) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(content, encoding="utf-8")
+    return path
+
+
+def one_period_runner(engine: str = "interpreter",
+                      datasize: float = 0.05,
+                      time: float = 1.0):
+    """A callable executing exactly one fresh period (the timed unit)."""
+    scenario = build_scenario()
+    eng = ENGINES[engine](scenario.registry)
+    client = BenchmarkClient(
+        scenario, eng, ScaleFactors(datasize=datasize, time=time),
+        periods=1, seed=5,
+    )
+
+    def run_one_period():
+        eng.clear_records()
+        client.monitor.clear()
+        client.run_period(0)
+        return len(eng.records)
+
+    return run_one_period
+
+
+@pytest.fixture(scope="session")
+def reference_run():
+    """The paper's reference configuration: d=0.05, t=1.0, uniform."""
+    return run_cached(datasize=0.05)
+
+
+@pytest.fixture(scope="session")
+def larger_run():
+    """The paper's second experiment: d=0.1."""
+    return run_cached(datasize=0.1)

@@ -1,0 +1,69 @@
+"""Ablation — why the metric is NAVG+ and not a plain average.
+
+Section V: the positive standard deviation is included "in order to
+reward integration systems with predictable system performance".  This
+bench runs the same workload over increasingly jittery networks and
+shows that NAVG+ separates the predictable system from the erratic one
+where the plain mean cannot.
+"""
+
+import statistics
+
+from benchmarks.conftest import run_cached, write_artifact
+
+
+def _navg_and_plus(jitter):
+    result, _, _ = run_cached(jitter=jitter, periods=3)
+    metrics = result.metrics
+    pids = ("P04", "P08", "P10")  # the high-frequency message types
+    navg = statistics.mean(metrics[p].navg for p in pids)
+    plus = statistics.mean(metrics[p].navg_plus for p in pids)
+    return navg, plus
+
+
+def test_ablation_metric_rewards_predictability(benchmark):
+    rows = ["Metric ablation: mean NAVG vs NAVG+ of P04/P08/P10 under jitter",
+            f"{'jitter':<10}{'NAVG':>10}{'NAVG+':>10}{'penalty':>10}",
+            "-" * 40]
+    measurements = {}
+    for jitter in (0.0, 0.2, 0.6):
+        navg, plus = _navg_and_plus(jitter)
+        measurements[jitter] = (navg, plus)
+        rows.append(
+            f"{jitter:<10}{navg:>10.2f}{plus:>10.2f}{plus - navg:>10.2f}"
+        )
+    table = "\n".join(rows)
+    write_artifact("ablation_metric.txt", table)
+    print("\n" + table)
+
+    # The sigma+ penalty grows with the jitter while the means stay close:
+    # exactly the discrimination the paper designed the metric for.
+    penalty = {j: plus - navg for j, (navg, plus) in measurements.items()}
+    assert penalty[0.6] > penalty[0.0]
+    mean_drift = abs(
+        measurements[0.6][0] - measurements[0.0][0]
+    ) / measurements[0.0][0]
+    penalty_growth = (penalty[0.6] - penalty[0.0]) / measurements[0.0][0]
+    assert penalty_growth > mean_drift / 2
+
+    benchmark(lambda: _navg_and_plus(0.2))
+
+
+def test_ablation_normalization_recovers_costs(benchmark):
+    """The interval-based normalization (Section V's hard case) recovers
+    per-instance costs from overlapped executions."""
+    from repro.metrics import ActiveInterval, normalize_intervals
+
+    def normalized_total():
+        intervals = [
+            ActiveInterval(i, start * 2.0, start * 2.0 + 10.0)
+            for i, start in enumerate(range(50))
+        ]
+        normalized = normalize_intervals(intervals)
+        return sum(normalized.values())
+
+    total = benchmark(normalized_total)
+    # Union of [0,10),[2,12),...,[98,108) is [0,108) -> 108 busy units.
+    import pytest
+
+    assert total == pytest.approx(108.0)

@@ -1,0 +1,100 @@
+"""Ablation — the suboptimal-by-design processes vs optimizer rewrites.
+
+Section IV: "the modeled processes are suboptimal.  This leaves enough
+space for optimizations as described in [22]."  This bench quantifies
+that space: the European extractions (P05/P06) with and without
+selection pushdown, and P03 with and without extract parallelization.
+"""
+
+import pytest
+
+from repro.engine import MtmInterpreterEngine, ProcessEvent
+from repro.optimizer import optimize_process, parallelize_extracts
+from repro.scenario import build_processes, build_scenario
+from repro.toolsuite import Initializer
+
+from benchmarks.conftest import write_artifact
+
+
+def run_variant(pid, rewrite=None, seed=3):
+    scenario = build_scenario()
+    Initializer(scenario, d=0.5, seed=seed).initialize_sources(0)
+    engine = MtmInterpreterEngine(scenario.registry)
+    processes = build_processes()
+    if pid == "P11":
+        engine.deploy(processes["P03"])
+    process = processes[pid]
+    if rewrite is not None:
+        process, report = rewrite(process)
+    engine.deploy(process)
+    if pid == "P11":
+        engine.handle_event(ProcessEvent("P03", 0.0))
+        engine.reset_workers()
+    record = engine.handle_event(ProcessEvent(pid, 10_000.0))
+    assert record.status == "ok"
+    return record.costs
+
+
+def test_ablation_selection_pushdown(benchmark):
+    rows = ["Optimizer ablation: selection pushdown (costs in tu)",
+            f"{'type':<6}{'plain':>10}{'optimized':>12}{'saved':>8}",
+            "-" * 36]
+    savings = {}
+    for pid in ("P05", "P06"):
+        plain = run_variant(pid).total
+        optimized = run_variant(pid, optimize_process).total
+        savings[pid] = 1 - optimized / plain
+        rows.append(
+            f"{pid:<6}{plain:>10.1f}{optimized:>12.1f}"
+            f"{savings[pid] * 100:>7.1f}%"
+        )
+    table = "\n".join(rows)
+    write_artifact("ablation_optimizer_pushdown.txt", table)
+    print("\n" + table)
+    assert all(saving > 0.1 for saving in savings.values())
+
+    benchmark.pedantic(
+        lambda: run_variant("P05", optimize_process).total,
+        rounds=3, iterations=1,
+    )
+
+
+def test_ablation_extract_parallelization(benchmark):
+    plain = run_variant("P03").communication
+    parallel = run_variant("P03", parallelize_extracts).communication
+    table = (
+        "Optimizer ablation: P03 extract parallelization\n"
+        f"communication cost plain: {plain:.1f} tu, forked: {parallel:.1f} tu"
+    )
+    write_artifact("ablation_optimizer_parallel.txt", table)
+    print("\n" + table)
+    # Concurrent extracts overlap their network waits.
+    assert parallel < plain
+
+    benchmark.pedantic(
+        lambda: run_variant("P03", parallelize_extracts).total,
+        rounds=3, iterations=1,
+    )
+
+
+def test_ablation_optimizer_preserves_results(benchmark):
+    """Safety: pushdown must not change what reaches the CDB."""
+
+    def states_equal():
+        def state(rewrite):
+            scenario = build_scenario()
+            Initializer(scenario, d=0.5, seed=3).initialize_sources(0)
+            engine = MtmInterpreterEngine(scenario.registry)
+            process = build_processes()["P05"]
+            if rewrite:
+                process, _ = optimize_process(process)
+            engine.deploy(process)
+            engine.handle_event(ProcessEvent("P05", 0.0))
+            cdb = scenario.databases["sales_cleaning"]
+            return sorted(
+                r["custkey"] for r in cdb.table("customer").scan()
+            )
+
+        return state(False) == state(True)
+
+    assert benchmark.pedantic(states_equal, rounds=2, iterations=1)

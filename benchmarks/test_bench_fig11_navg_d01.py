@@ -1,0 +1,86 @@
+"""Fig. 11 — DIPBench performance plot, d=0.1.
+
+The paper's second experiment doubles the datasize.  Regenerates the
+plot and asserts the comparative observations of Section VI:
+
+* the E1 (message-initiated) process types feel the doubled message
+  volume — their normalized costs rise relative to d=0.05,
+* the E2 types process larger data sets (costs rise with the data), and
+* the overall shape (data-intensive ≫ concurrent) is preserved.
+"""
+
+from benchmarks.conftest import one_period_runner, run_cached, write_artifact
+
+E1_TYPES = ("P04", "P08", "P10")
+E2_BULK = ("P09", "P13", "P14")
+
+
+def test_fig11_plot_d01(benchmark):
+    result, client, _ = run_cached(engine="federated", datasize=0.1)
+    plot = client.monitor.performance_plot(
+        title="DIPBench Performance Plot [sfTime=1.0, sfDatasize=0.1] "
+              "(federated DBMS)"
+    )
+    write_artifact("fig11_navg_d01_federated.txt",
+                   plot + "\n\n" + result.metrics.as_table())
+    write_artifact("fig11_navg_d01_federated.svg",
+                   client.monitor.performance_plot_svg(
+                       "DIPBench Performance Plot d=0.1 (federated)"))
+    print("\n" + plot)
+
+    metrics = result.metrics
+    concurrent_peak = max(metrics[p].navg_plus for p in E1_TYPES)
+    intensive_floor = min(metrics[p].navg_plus for p in E2_BULK)
+    assert intensive_floor > concurrent_peak
+
+    run_one = one_period_runner(engine="federated", datasize=0.1)
+    benchmark.pedantic(run_one, rounds=2, iterations=1)
+
+
+def test_fig11_vs_fig10_e1_impact(benchmark):
+    """'the influence on the process types initiated by event type E1
+    should be noticed'."""
+    small, _, _ = run_cached(engine="federated", datasize=0.05)
+    large, _, _ = run_cached(engine="federated", datasize=0.1)
+
+    def e1_growth():
+        return {
+            pid: large.metrics[pid].navg / small.metrics[pid].navg
+            for pid in E1_TYPES
+        }
+
+    growth = benchmark(e1_growth)
+    # More arrivals at the same spacing -> more queue pressure -> higher
+    # per-instance management costs.
+    assert all(ratio > 1.0 for ratio in growth.values())
+
+
+def test_fig11_vs_fig10_e2_more_data(benchmark):
+    small, _, _ = run_cached(engine="federated", datasize=0.05)
+    large, _, _ = run_cached(engine="federated", datasize=0.1)
+
+    def e2_growth():
+        return {
+            pid: large.metrics[pid].navg / small.metrics[pid].navg
+            for pid in E2_BULK
+        }
+
+    growth = benchmark(e2_growth)
+    assert all(ratio > 1.2 for ratio in growth.values())
+
+
+def test_fig11_instance_counts_scale(benchmark):
+    small, _, _ = run_cached(engine="federated", datasize=0.05)
+    large, _, _ = run_cached(engine="federated", datasize=0.1)
+
+    def count(result, pid):
+        return result.metrics[pid].instance_count
+
+    def comparison():
+        return {
+            pid: (count(small, pid), count(large, pid)) for pid in E1_TYPES
+        }
+
+    counts = benchmark(comparison)
+    for pid, (small_n, large_n) in counts.items():
+        assert large_n > small_n, pid

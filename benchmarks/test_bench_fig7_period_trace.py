@@ -1,0 +1,66 @@
+"""Fig. 7 — the benchmark execution period.
+
+Regenerates the per-period choreography trace (uninitialize, initialize,
+streams A ∥ B → C → D) and times the execution of one complete period —
+the toolsuite's fundamental unit of work.
+"""
+
+from benchmarks.conftest import one_period_runner, run_cached, write_artifact
+
+
+def render_period_trace(result) -> str:
+    period0 = [r for r in result.records if r.period == 0]
+    lines = [
+        "Fig. 7 - one benchmark period (k=0): instance timeline",
+        f"{'process':<8}{'stream':<8}{'n':>5}{'first arrival':>15}"
+        f"{'last completion':>17}",
+        "-" * 55,
+    ]
+    by_type: dict[str, list] = {}
+    for record in period0:
+        by_type.setdefault(record.process_id, []).append(record)
+    for pid in sorted(by_type):
+        records = by_type[pid]
+        lines.append(
+            f"{pid:<8}{records[0].stream:<8}{len(records):>5}"
+            f"{min(r.arrival for r in records):>15.1f}"
+            f"{max(r.completion for r in records):>17.1f}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig7_period_choreography(benchmark, reference_run):
+    result, _, _ = reference_run
+    trace = render_period_trace(result)
+    write_artifact("fig7_period_trace.txt", trace)
+    print("\n" + trace)
+
+    run_one = one_period_runner()
+    instances = benchmark.pedantic(run_one, rounds=3, iterations=1)
+    assert instances > 150  # the full d=0.05 process mix
+
+    # The serialization constraints of Fig. 7, on the reference run.
+    period0 = [r for r in result.records if r.period == 0]
+    ab_end = max(r.completion for r in period0 if r.stream in ("A", "B"))
+    c_start = min(r.arrival for r in period0 if r.stream == "C")
+    d_start = min(r.arrival for r in period0 if r.stream == "D")
+    c_end = max(r.completion for r in period0 if r.stream == "C")
+    assert c_start >= ab_end
+    assert d_start >= c_end
+
+
+def test_fig7_uninitialize_initialize_cost(benchmark):
+    """The non-measured period prologue: uninit + source init."""
+    from repro.scenario import build_scenario
+    from repro.toolsuite import Initializer
+
+    scenario = build_scenario()
+    initializer = Initializer(scenario, d=0.05)
+
+    def prologue():
+        initializer.uninitialize_all()
+        population = initializer.initialize_sources(0)
+        return len(population.product_keys)
+
+    products = benchmark(prologue)
+    assert products >= 10

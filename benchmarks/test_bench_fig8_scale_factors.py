@@ -1,0 +1,69 @@
+"""Fig. 8 — impact of the scale factors datasize and time on P01.
+
+Left plot: the number of executed P01 processes per benchmark period k,
+for several datasize values.  Right plot: the scheduled event times for
+several time-scale values.  Both series are regenerated and printed.
+"""
+
+from repro.toolsuite.schedule import ScaleFactors, deadlines_p01, instances_p01
+
+from benchmarks.conftest import write_artifact
+
+
+def render_left(d_values=(0.5, 1.0, 2.0)) -> str:
+    lines = ["Fig. 8 (left) - executed P01 instances m per period k",
+             f"{'k':>4}" + "".join(f"{f'd={d}':>10}" for d in d_values),
+             "-" * (4 + 10 * len(d_values))]
+    for k in range(0, 100, 10):
+        lines.append(
+            f"{k:>4}" + "".join(
+                f"{instances_p01(k, d):>10}" for d in d_values
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_right(t_values=(0.5, 1.0, 2.0)) -> str:
+    lines = ["Fig. 8 (right) - scheduled P01 event times (engine units)",
+             f"{'m':>4}" + "".join(f"{f't={t}':>10}" for t in t_values),
+             "-" * (4 + 10 * len(t_values))]
+    deadlines_tu = deadlines_p01(0, 0.2)[:8]
+    for m, deadline in enumerate(deadlines_tu, start=1):
+        lines.append(
+            f"{m:>4}" + "".join(
+                f"{ScaleFactors(time=t).tu_to_engine(deadline):>10.1f}"
+                for t in t_values
+            )
+        )
+    return "\n".join(lines)
+
+
+def test_fig8_datasize_series(benchmark):
+    text = render_left()
+    write_artifact("fig8_left_datasize.txt", text)
+    print("\n" + text)
+
+    series = benchmark(
+        lambda: [instances_p01(k, 1.0) for k in range(100)]
+    )
+    # Decreasing series: "a realistic scaling of master data management".
+    assert series[0] > series[-1]
+    assert all(a >= b for a, b in zip(series, series[1:]))
+    # And datasize scales it multiplicatively.
+    assert instances_p01(0, 2.0) > instances_p01(0, 1.0)
+
+
+def test_fig8_time_series(benchmark):
+    text = render_right()
+    write_artifact("fig8_right_time.txt", text)
+    print("\n" + text)
+
+    def spacing(t):
+        factors = ScaleFactors(time=t)
+        deadlines = [factors.tu_to_engine(x) for x in deadlines_p01(0, 0.2)]
+        return deadlines[1] - deadlines[0]
+
+    gaps = benchmark(lambda: [spacing(t) for t in (0.5, 1.0, 2.0, 4.0)])
+    # "An increasing t reduces the time interval between two successive
+    # schedule events."
+    assert all(a > b for a, b in zip(gaps, gaps[1:]))

@@ -1,0 +1,103 @@
+"""Figs. 2–5 — schemas and process graphs.
+
+Regenerates textual renderings of the region-Europe schema (Fig. 2), the
+warehouse snowflake (Fig. 3) and the P02/P03 process graphs (Figs. 4/5),
+and times schema instantiation of the full Fig. 1 landscape.
+"""
+
+from repro.mtm.operators import Operator
+from repro.scenario import build_scenario
+from repro.scenario.processes import build_processes
+from repro.scenario.schemas import (
+    cdb_tables,
+    datamart_tables,
+    dwh_tables,
+    europe_tables,
+    tpch_tables,
+)
+
+from benchmarks.conftest import write_artifact
+
+
+def render_schema(title: str, tables) -> str:
+    lines = [title, "=" * len(title)]
+    for table in tables:
+        fk_text = ", ".join(
+            f"{'/'.join(fk.columns)}->{fk.parent_table}"
+            for fk in table.foreign_keys
+        )
+        lines.append(
+            f"{table.name}  PK({', '.join(table.primary_key)})"
+            + (f"  FK[{fk_text}]" if fk_text else "")
+        )
+        for column in table.columns:
+            null = "" if column.nullable else " NOT NULL"
+            lines.append(f"    {column.name:<18}{column.sql_type}{null}")
+    return "\n".join(lines)
+
+
+def render_process_graph(process) -> str:
+    lines = [f"{process.process_id}: {process.description} "
+             f"[{process.event_type.value}]"]
+
+    def walk(op: Operator, depth: int) -> None:
+        lines.append("  " * depth + f"- {op.kind}:{op.name}")
+        for child in op.children():
+            walk(child, depth + 1)
+
+    walk(process.root, 1)
+    return "\n".join(lines)
+
+
+def test_fig2_europe_schema(benchmark):
+    text = render_schema("Fig. 2 - Region Europe data schema", europe_tables())
+    write_artifact("fig2_europe_schema.txt", text)
+    print("\n" + text)
+    tables = benchmark(europe_tables)
+    assert {t.name for t in tables} == {
+        "eu_customer", "eu_product", "eu_order", "eu_orderpos",
+    }
+
+
+def test_fig3_dwh_snowflake(benchmark):
+    text = "\n\n".join([
+        render_schema("Fig. 3 - Data warehouse snowflake", dwh_tables()),
+        render_schema("Consolidated database (staging)", cdb_tables()),
+        render_schema("Data mart Europe (fully denormalized)",
+                      datamart_tables("europe")),
+        render_schema("Data mart United States (location denormalized)",
+                      datamart_tables("united_states")),
+        render_schema("Data mart Asia (product denormalized)",
+                      datamart_tables("asia")),
+        render_schema("Region America (TPC-H)", tpch_tables()),
+    ])
+    write_artifact("fig3_warehouse_schemas.txt", text)
+    print("\n" + text)
+
+    def build_landscape():
+        scenario = build_scenario()
+        return sum(
+            len(db.table_names) for db in scenario.all_databases.values()
+        )
+
+    total_tables = benchmark(build_landscape)
+    assert total_tables > 50  # 14 systems' worth of tables
+
+
+def test_fig4_fig5_process_graphs(benchmark):
+    processes = build_processes()
+    text = "\n\n".join(
+        render_process_graph(processes[pid])
+        for pid in ("P02", "P03", "P04", "P10", "P14")
+    )
+    write_artifact("fig4_fig5_process_graphs.txt", text)
+    print("\n" + text)
+
+    counts = benchmark(
+        lambda: {p.process_id: p.operator_count()
+                 for p in build_processes().values()}
+    )
+    # Fig. 4's P02: receive, translation, extract, switch + 3 invokes, end.
+    assert counts["P02"] == 9
+    # Fig. 5's P03: 3 extracts + union + load per table, 4 tables + end.
+    assert counts["P03"] == 22

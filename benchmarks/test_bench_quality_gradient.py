@@ -1,0 +1,52 @@
+"""Extension bench — the data-quality gradient across layers.
+
+Section III: "During this staging process, the data quality increases
+and the accuracy decreases."  The paper's future work announces quality
+metrics; this bench measures them: conformance, uniqueness, referential
+integrity and coverage per logical layer, after a full benchmark run.
+"""
+
+from repro.toolsuite.quality import measure_quality
+
+from benchmarks.conftest import run_cached, write_artifact
+
+
+def test_quality_gradient(benchmark):
+    _, _, scenario = run_cached(datasize=0.05)
+    report = measure_quality(scenario)
+    table = (
+        "Data-quality gradient after a full run (d=0.05)\n"
+        + report.as_table()
+    )
+    write_artifact("quality_gradient.txt", table)
+    print("\n" + table)
+
+    # Section III's claim, quantified.
+    assert report.monotone_quality
+    assert report.sources.conformance < 1.0  # dirt was really planted
+    assert report.staging.conformance == 1.0  # and really cleansed
+    assert report.warehouse.referential_integrity == 1.0
+
+    benchmark(lambda: measure_quality(scenario).monotone_quality)
+
+
+def test_quality_under_skewed_data(benchmark):
+    """The gradient must hold for every distribution family."""
+    rows = ["Quality index per layer and distribution family",
+            f"{'f':<14}{'sources':>10}{'staging':>10}{'warehouse':>11}",
+            "-" * 45]
+    for f, name in ((0, "uniform"), (1, "zipf")):
+        _, _, scenario = run_cached(distribution=f, periods=3)
+        report = measure_quality(scenario)
+        rows.append(
+            f"{name:<14}{report.sources.quality_index:>10.3f}"
+            f"{report.staging.quality_index:>10.3f}"
+            f"{report.warehouse.quality_index:>11.3f}"
+        )
+        assert report.monotone_quality, name
+    table = "\n".join(rows)
+    write_artifact("quality_gradient_distributions.txt", table)
+    print("\n" + table)
+
+    _, _, scenario = run_cached(distribution=1, periods=3)
+    benchmark(lambda: measure_quality(scenario))

@@ -1,0 +1,49 @@
+"""Table I — the 15 benchmark process types of groups A–D.
+
+Regenerates the table from the live process registry and times the
+deployment of the full process mix (the engine's 'phase pre' work).
+"""
+
+from repro.engine import MtmInterpreterEngine
+from repro.scenario import PROCESS_TABLE, build_processes, build_scenario
+
+from benchmarks.conftest import write_artifact
+
+
+def render_table_1() -> str:
+    processes = build_processes()
+    lines = [f"{'Group':<7}{'ID':<6}Name", "-" * 50]
+    for group, pid, name in PROCESS_TABLE:
+        process = processes[pid]
+        assert process.group.name == group
+        assert process.description == name
+        lines.append(f"{group:<7}{pid:<6}{name}")
+    return "\n".join(lines)
+
+
+def test_table1_process_types(benchmark):
+    table = render_table_1()
+    write_artifact("table1_process_types.txt", table)
+    print("\n" + table)
+
+    def deploy_full_mix():
+        scenario = build_scenario()
+        engine = MtmInterpreterEngine(scenario.registry)
+        engine.deploy_all(build_processes().values())
+        return len(engine.deployed_ids)
+
+    deployed = benchmark(deploy_full_mix)
+    assert deployed == 19  # 15 types + 4 P14 subprocesses
+
+
+def test_table1_group_composition(benchmark):
+    def census():
+        processes = build_processes()
+        by_group: dict[str, list[str]] = {}
+        for pid, process in processes.items():
+            if not process.subprocess_only:
+                by_group.setdefault(process.group.name, []).append(pid)
+        return {g: len(v) for g, v in by_group.items()}
+
+    composition = benchmark(census)
+    assert composition == {"A": 3, "B": 8, "C": 2, "D": 2}

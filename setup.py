@@ -1,0 +1,20 @@
+"""Legacy entry point so editable installs work without the ``wheel`` package.
+
+Modern PEP 660 editable installs need ``wheel``; offline environments
+often lack it.  ``pip install -e . --no-use-pep517`` (or plain
+``python setup.py develop``) uses this file instead.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "DIPBench reproduction: an independent benchmark for "
+        "data-intensive integration processes (ICDE 2008)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,7 @@
+"""``python -m repro`` — the DIPBench command line."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

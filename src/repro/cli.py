@@ -1,0 +1,184 @@
+"""Command-line front-end for the toolsuite.
+
+Mirrors how the original DIPBench toolsuite was operated: one command to
+execute the benchmark autonomously, plus inspection helpers.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro run --engine federated --datasize 0.05 --periods 5
+    python -m repro run --plot plot.svg --report report.txt
+    python -m repro schedule --period 0 --datasize 0.05
+    python -m repro processes
+    python -m repro validate
+
+Exit status is non-zero when the post-phase verification fails, so the
+command composes with CI pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.engine import (
+    EaiEngine,
+    EtlEngine,
+    FederatedEngine,
+    MtmInterpreterEngine,
+)
+from repro.mtm.process import validate_definition
+from repro.scenario import PROCESS_TABLE, build_processes, build_scenario
+from repro.toolsuite import BenchmarkClient, ScaleFactors
+from repro.toolsuite.schedule import build_schedule
+
+ENGINES = {
+    "interpreter": MtmInterpreterEngine,
+    "federated": FederatedEngine,
+    "eai": EaiEngine,
+    "etl": EtlEngine,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DIPBench: benchmark data-intensive integration processes",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="execute the benchmark")
+    run.add_argument("--engine", choices=sorted(ENGINES), default="interpreter")
+    run.add_argument("--datasize", type=float, default=0.05,
+                     help="scale factor d (default 0.05)")
+    run.add_argument("--time", type=float, default=1.0,
+                     help="scale factor t (default 1.0)")
+    run.add_argument("--distribution", type=int, default=0,
+                     choices=(0, 1, 2, 3),
+                     help="scale factor f: 0 uniform, 1 zipf, 2 normal, "
+                          "3 exponential")
+    run.add_argument("--periods", type=int, default=5,
+                     help="benchmark periods to execute (1-100, default 5)")
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--jitter", type=float, default=0.0,
+                     help="network jitter fraction in [0, 1)")
+    run.add_argument("--workers", type=int, default=4,
+                     help="engine worker count")
+    run.add_argument("--plot", metavar="FILE.svg",
+                     help="write the performance plot as SVG")
+    run.add_argument("--report", metavar="FILE.txt",
+                     help="write the metric table to a file")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress the ASCII plot")
+
+    schedule = commands.add_parser(
+        "schedule", help="print the Table II event series for one period"
+    )
+    schedule.add_argument("--period", type=int, default=0)
+    schedule.add_argument("--datasize", type=float, default=0.05)
+    schedule.add_argument("--time", type=float, default=1.0)
+
+    commands.add_parser("processes", help="list the benchmark process types")
+    commands.add_parser(
+        "validate", help="statically validate all process definitions"
+    )
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    factors = ScaleFactors(
+        datasize=args.datasize, time=args.time, distribution=args.distribution
+    )
+    scenario = build_scenario(jitter=args.jitter, seed=args.seed)
+    engine = ENGINES[args.engine](
+        scenario.registry, worker_count=args.workers
+    )
+    client = BenchmarkClient(
+        scenario, engine, factors, periods=args.periods, seed=args.seed
+    )
+    result = client.run()
+
+    table = result.metrics.as_table()
+    print(
+        f"engine={result.engine_name} d={args.datasize} t={args.time} "
+        f"f={args.distribution} periods={result.periods} "
+        f"instances={result.total_instances} errors={result.error_instances}"
+    )
+    print(result.verification.summary())
+    print()
+    print(table)
+    if not args.quiet:
+        print()
+        print(client.monitor.performance_plot(
+            title=f"DIPBench Performance Plot [sfTime={args.time}, "
+                  f"sfDatasize={args.datasize}] ({result.engine_name})"
+        ))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(result.verification.summary() + "\n\n" + table + "\n")
+        print(f"\nreport written to {args.report}")
+    if args.plot:
+        client.monitor.save_plot(args.plot)
+        print(f"plot written to {args.plot}")
+    return 0 if result.verification.ok else 1
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    factors = ScaleFactors(datasize=args.datasize, time=args.time)
+    schedule = build_schedule(args.period, factors)
+    print(
+        f"period k={args.period}, d={args.datasize}, t={args.time} "
+        f"(deadlines in engine units; 1 tu = 1/t units)"
+    )
+    for pid in ("P01", "P02", "P04", "P08", "P10"):
+        series = [factors.tu_to_engine(x) for x in schedule.series(pid)]
+        preview = ", ".join(f"{x:.1f}" for x in series[:5])
+        if len(series) > 5:
+            preview += f", ... {series[-1]:.1f}"
+        print(f"  {pid}: n={len(series):>4}  [{preview}]")
+    print("  P03/P05-P07/P09/P11-P15: resolved from completions (T1 terms)")
+    return 0
+
+
+def _cmd_processes(_args: argparse.Namespace) -> int:
+    processes = build_processes()
+    print(f"{'Group':<7}{'ID':<8}{'Event':<7}{'Ops':>5}  Name")
+    for group, pid, name in PROCESS_TABLE:
+        process = processes[pid]
+        print(
+            f"{group:<7}{pid:<8}{process.event_type.value:<7}"
+            f"{process.operator_count():>5}  {name}"
+        )
+    subs = sorted(p for p in processes if processes[p].subprocess_only)
+    print(f"subprocesses: {', '.join(subs)}")
+    return 0
+
+
+def _cmd_validate(_args: argparse.Namespace) -> int:
+    processes = build_processes()
+    known = set(processes)
+    failures = 0
+    for pid in sorted(processes):
+        errors = validate_definition(processes[pid], known_processes=known)
+        status = "ok" if not errors else "INVALID"
+        print(f"{pid:<8}{status}")
+        for error in errors:
+            print(f"    {error}")
+            failures += 1
+    return 1 if failures else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "schedule": _cmd_schedule,
+        "processes": _cmd_processes,
+        "validate": _cmd_validate,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Synthetic test-data generation (the Initializer's data engine).
+
+The paper's Initializer provides "several distribution functions … to
+generate synthetic source system test data sets", and the discrete scale
+factor *distribution* (f) switches between "uniformly distributed data
+values [and] specially skewed data values".
+
+This package provides seeded, reproducible distributions
+(:mod:`repro.datagen.distributions`), deterministic text synthesis
+(:mod:`repro.datagen.text`) and the domain generators for the benchmark's
+master and movement data (:mod:`repro.datagen.generators`), including the
+controlled error/duplicate injection that the cleansing procedures
+(P12/P13) and the error-prone San Diego source (P10) exercise.
+"""
+
+from repro.datagen.distributions import (
+    Distribution,
+    ExponentialDistribution,
+    NormalDistribution,
+    UniformDistribution,
+    ZipfDistribution,
+    make_distribution,
+)
+from repro.datagen.text import TextSynthesizer
+from repro.datagen.generators import DataGenerator, GeneratorProfile
+
+__all__ = [
+    "Distribution",
+    "UniformDistribution",
+    "ZipfDistribution",
+    "NormalDistribution",
+    "ExponentialDistribution",
+    "make_distribution",
+    "TextSynthesizer",
+    "DataGenerator",
+    "GeneratorProfile",
+]

@@ -1,0 +1,317 @@
+"""Domain generators for the benchmark's master and movement data.
+
+The generators produce *canonical* entity dicts (the vocabulary of the
+consolidated database / data warehouse snowflake schema, Fig. 3); the
+scenario layer maps them into each source system's heterogeneous shape
+(Europe's self-defined normalized schema, America's TPC-H schema, Asia's
+result-set XML, the Vienna/San Diego message schemas).
+
+Everything is seeded and sized by the datasize scale factor d.  Master
+data can be generated with controlled *duplicate* and *corruption* rates —
+the dirt that the cleansing procedures of P12/P13 and the validation of
+P10 exist to handle.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import ScaleFactorError
+from repro.datagen.distributions import Distribution, UniformDistribution
+from repro.datagen.text import TextSynthesizer
+
+Row = dict[str, Any]
+
+#: Fixed geography reference data: region -> nation -> cities.
+GEOGRAPHY: dict[str, dict[str, tuple[str, ...]]] = {
+    "Europe": {
+        "Germany": ("Berlin", "Dresden", "Munich"),
+        "France": ("Paris", "Lyon"),
+        "Norway": ("Trondheim", "Oslo"),
+        "Austria": ("Vienna",),
+    },
+    "Asia": {
+        "China": ("Beijing", "Hongkong", "Shanghai"),
+        "Korea": ("Seoul", "Busan"),
+    },
+    "America": {
+        "United States": ("Chicago", "Baltimore", "Madison", "San Diego"),
+        "Canada": ("Toronto",),
+    },
+}
+
+_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+_ORDER_STATUS = ("O", "F", "P")
+_PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+_PRODUCT_LINES = ("INDUSTRIAL", "CONSUMER", "OFFICE")
+_GROUPS_PER_LINE = 4
+
+_BASE_DATE = datetime.date(2007, 1, 1)
+
+
+@dataclass(frozen=True)
+class GeneratorProfile:
+    """Base cardinalities at d = 1.0; the Initializer scales them by d.
+
+    The defaults keep a full benchmark period laptop-sized while
+    preserving the paper's proportions: movement data (orders/orderlines)
+    dominates master data, and orderlines outnumber orders.
+    """
+
+    customers_base: int = 400
+    products_base: int = 120
+    orders_base: int = 800
+    max_lines_per_order: int = 5
+    duplicate_rate: float = 0.04
+    corruption_rate: float = 0.03
+
+    def scaled(self, base: int, d: float) -> int:
+        """Scale a base cardinality by datasize d (minimum 1)."""
+        if d <= 0:
+            raise ScaleFactorError(f"datasize scale factor must be > 0, got {d}")
+        return max(1, round(base * d))
+
+
+class DataGenerator:
+    """Seeded generator of canonical entities.
+
+    >>> gen = DataGenerator(seed=1)
+    >>> customers = gen.customers(10, key_offset=100, region="Europe")
+    >>> customers[0]["custkey"]
+    101
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        distribution: Distribution | None = None,
+        profile: GeneratorProfile | None = None,
+    ):
+        self.seed = seed
+        self.distribution = distribution or UniformDistribution(seed)
+        self.text = TextSynthesizer(self.distribution)
+        self.profile = profile or GeneratorProfile()
+
+    # -- geography ---------------------------------------------------------------
+
+    def geography_rows(self) -> tuple[list[Row], list[Row], list[Row]]:
+        """Regions, nations and cities as canonical keyed rows."""
+        regions: list[Row] = []
+        nations: list[Row] = []
+        cities: list[Row] = []
+        nation_key = 0
+        city_key = 0
+        for region_key, (region_name, nation_map) in enumerate(
+            sorted(GEOGRAPHY.items()), start=1
+        ):
+            regions.append({"regionkey": region_key, "name": region_name})
+            for nation_name in sorted(nation_map):
+                nation_key += 1
+                nations.append(
+                    {
+                        "nationkey": nation_key,
+                        "name": nation_name,
+                        "regionkey": region_key,
+                    }
+                )
+                for city_name in nation_map[nation_name]:
+                    city_key += 1
+                    cities.append(
+                        {
+                            "citykey": city_key,
+                            "name": city_name,
+                            "nationkey": nation_key,
+                        }
+                    )
+        return regions, nations, cities
+
+    def city_keys_for_region(self, region: str) -> list[int]:
+        """City keys belonging to one region (for regional customers)."""
+        regions, nations, cities = self.geography_rows()
+        region_keys = {r["regionkey"] for r in regions if r["name"] == region}
+        if not region_keys:
+            raise ScaleFactorError(f"unknown region {region!r}")
+        nation_keys = {
+            n["nationkey"] for n in nations if n["regionkey"] in region_keys
+        }
+        return [c["citykey"] for c in cities if c["nationkey"] in nation_keys]
+
+    # -- master data -------------------------------------------------------------
+
+    def customers(
+        self, count: int, key_offset: int = 0, region: str = "Europe"
+    ) -> list[Row]:
+        """Canonical customer master data for one region."""
+        city_keys = self.city_keys_for_region(region)
+        rows: list[Row] = []
+        for index in range(1, count + 1):
+            key = key_offset + index
+            rows.append(
+                {
+                    "custkey": key,
+                    "name": self.text.keyed_name("Customer", key),
+                    "address": self.text.street_address(),
+                    "phone": self.text.phone(
+                        country_code=30 + self.distribution.sample_int(1, 60)
+                    ),
+                    "citykey": self.distribution.choice(city_keys),
+                    "segment": self.distribution.choice(_SEGMENTS),
+                }
+            )
+        return rows
+
+    def product_dimension(
+        self, count: int, key_offset: int = 0
+    ) -> tuple[list[Row], list[Row], list[Row]]:
+        """Products plus their normalized group/line tables (Fig. 3)."""
+        lines = [
+            {"linekey": i, "name": name}
+            for i, name in enumerate(_PRODUCT_LINES, start=1)
+        ]
+        groups: list[Row] = []
+        group_key = 0
+        for line in lines:
+            for suffix in range(1, _GROUPS_PER_LINE + 1):
+                group_key += 1
+                groups.append(
+                    {
+                        "groupkey": group_key,
+                        "name": f"{line['name'].title()} Group {suffix}",
+                        "linekey": line["linekey"],
+                    }
+                )
+        products: list[Row] = []
+        for index in range(1, count + 1):
+            key = key_offset + index
+            products.append(
+                {
+                    "prodkey": key,
+                    "name": self.text.product_name(),
+                    "brand": f"Brand#{self.distribution.sample_int(1, 25):02d}",
+                    "price": round(self.distribution.sample_float(1.0, 2000.0), 2),
+                    "groupkey": self.distribution.choice(
+                        [g["groupkey"] for g in groups]
+                    ),
+                }
+            )
+        return products, groups, lines
+
+    # -- movement data -----------------------------------------------------------
+
+    def orders(
+        self,
+        count: int,
+        customer_keys: list[int],
+        product_keys: list[int],
+        key_offset: int = 0,
+        date_span_days: int = 365,
+    ) -> tuple[list[Row], list[Row]]:
+        """Orders plus their orderlines.
+
+        Customer and product references are drawn through the configured
+        distribution, so a zipf distribution (scale factor f = 1)
+        concentrates orders on hot customers/products.
+        """
+        if not customer_keys or not product_keys:
+            raise ScaleFactorError("orders need customer and product keys")
+        orders: list[Row] = []
+        orderlines: list[Row] = []
+        for index in range(1, count + 1):
+            orderkey = key_offset + index
+            orderdate = _BASE_DATE + datetime.timedelta(
+                days=self.distribution.sample_int(0, date_span_days - 1)
+            )
+            line_count = self.distribution.sample_int(
+                1, self.profile.max_lines_per_order
+            )
+            total = 0.0
+            for line_number in range(1, line_count + 1):
+                quantity = self.distribution.sample_int(1, 50)
+                unit_price = self.distribution.sample_float(1.0, 2000.0)
+                discount = round(self.distribution.sample_float(0.0, 0.1), 2)
+                extended = round(quantity * unit_price * (1.0 - discount), 2)
+                total += extended
+                orderlines.append(
+                    {
+                        "orderkey": orderkey,
+                        "linenumber": line_number,
+                        "prodkey": self.distribution.choice(product_keys),
+                        "quantity": quantity,
+                        "extendedprice": extended,
+                        "discount": discount,
+                    }
+                )
+            orders.append(
+                {
+                    "orderkey": orderkey,
+                    "custkey": self.distribution.choice(customer_keys),
+                    "orderdate": orderdate,
+                    "status": self.distribution.choice(_ORDER_STATUS),
+                    "priority": self.distribution.choice(_PRIORITIES),
+                    "totalprice": round(total, 2),
+                }
+            )
+        return orders, orderlines
+
+    # -- dirt injection ----------------------------------------------------------
+
+    def with_duplicates(self, rows: list[Row], key_column: str) -> list[Row]:
+        """Append near-duplicate rows at the profile's duplicate rate.
+
+        Duplicates reuse an existing business key with a *new* surrogate
+        key value (max + running offset) and a corrupted name, which is
+        exactly what ``sp_runMasterDataCleansing`` (P12) must detect.
+        Each duplicate carries ``_duplicate_of`` so tests can verify the
+        cleansing result; the scenario strips the marker before loading.
+        """
+        if not rows:
+            return []
+        out = [dict(row) for row in rows]
+        duplicate_count = int(len(rows) * self.profile.duplicate_rate)
+        max_key = max(row[key_column] for row in rows)
+        for offset in range(1, duplicate_count + 1):
+            victim = dict(self.distribution.choice(rows))
+            victim["_duplicate_of"] = victim[key_column]
+            victim[key_column] = max_key + offset
+            if "name" in victim:
+                victim["name"] = self.text.corrupted(str(victim["name"]))
+            out.append(victim)
+        return out
+
+    def with_movement_errors(self, orderlines: list[Row]) -> list[Row]:
+        """Inject movement-data errors at the profile's corruption rate.
+
+        Flips quantities non-positive — the classic operational-data
+        defect ``sp_runMovementDataCleansing`` (P13) must eliminate
+        before the warehouse load.  Marked with ``_movement_error`` for
+        test assertions; the Initializer strips markers before loading.
+        """
+        out = []
+        for row in orderlines:
+            row = dict(row)
+            if self.distribution.sample_unit() < self.profile.corruption_rate:
+                row["_movement_error"] = True
+                row["quantity"] = -abs(row["quantity"] or 1)
+            out.append(row)
+        return out
+
+    def with_corruption(
+        self, rows: list[Row], columns: Iterable[str]
+    ) -> list[Row]:
+        """Corrupt string columns at the profile's corruption rate.
+
+        Corrupted rows carry ``_corrupted = True`` so phase-post
+        verification can count what cleansing should have removed.
+        """
+        out = []
+        for row in rows:
+            row = dict(row)
+            if self.distribution.sample_unit() < self.profile.corruption_rate:
+                row["_corrupted"] = True
+                for column in columns:
+                    if isinstance(row.get(column), str):
+                        row[column] = self.text.corrupted(row[column])
+            out.append(row)
+        return out

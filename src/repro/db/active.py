@@ -1,0 +1,108 @@
+"""Active database features: triggers, stored procedures, materialized views.
+
+These are exactly the mechanisms the paper's reference implementation uses
+(Fig. 9): message-stream process types are realized as insert triggers on a
+queue table; time-event process types as stored procedures; and P12/P13/P15
+refresh materialized views through procedure calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import ProcedureError, SchemaError
+from repro.db.relation import Relation, Row
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.database import Database
+
+
+@dataclass
+class Trigger:
+    """An AFTER INSERT trigger on one table.
+
+    ``body`` receives the owning database and the freshly inserted row
+    (the "logical table inserted" of Fig. 9a, which for row-level triggers
+    is a single row).  Trigger bodies run synchronously inside the insert.
+    """
+
+    name: str
+    table: str
+    body: Callable[["Database", Row], None]
+    enabled: bool = True
+    fire_count: int = field(default=0, init=False)
+
+    def fire(self, database: "Database", row: Row) -> None:
+        if not self.enabled:
+            return
+        self.fire_count += 1
+        self.body(database, row)
+
+
+@dataclass
+class StoredProcedure:
+    """A named procedure: a Python callable over the owning database.
+
+    The scenario defines ``sp_runMasterDataCleansing`` and
+    ``sp_runMovementDataCleansing`` (P12/P13) plus MV refresh procedures.
+    Procedures may accept keyword parameters and return any value.
+    """
+
+    name: str
+    body: Callable[..., Any]
+    description: str = ""
+    call_count: int = field(default=0, init=False)
+
+    def call(self, database: "Database", /, **params: Any) -> Any:
+        self.call_count += 1
+        try:
+            return self.body(database, **params)
+        except Exception as exc:
+            if isinstance(exc, ProcedureError):
+                raise
+            raise ProcedureError(f"procedure {self.name} failed: {exc}") from exc
+
+
+class MaterializedView:
+    """A named, explicitly refreshed materialization of a query.
+
+    The DWH schema (Fig. 3) contains ``OrdersMV``; P13 and P15 refresh it
+    via stored procedure calls.  The view holds a :class:`Relation`
+    snapshot; ``refresh`` re-runs the definition query and reports how many
+    rows the new snapshot has (the engine charges processing cost for it).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        definition: Callable[["Database"], Relation],
+    ):
+        if not name:
+            raise SchemaError("materialized view needs a name")
+        self.name = name
+        self._definition = definition
+        self._snapshot: Relation | None = None
+        self.refresh_count = 0
+
+    @property
+    def is_populated(self) -> bool:
+        return self._snapshot is not None
+
+    @property
+    def snapshot(self) -> Relation:
+        if self._snapshot is None:
+            raise ProcedureError(
+                f"materialized view {self.name} has never been refreshed"
+            )
+        return self._snapshot
+
+    def refresh(self, database: "Database") -> int:
+        """Recompute the snapshot; returns the new row count."""
+        self._snapshot = self._definition(database)
+        self.refresh_count += 1
+        return len(self._snapshot)
+
+    def invalidate(self) -> None:
+        """Drop the snapshot (used by the Initializer's uninitialize step)."""
+        self._snapshot = None

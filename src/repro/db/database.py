@@ -1,0 +1,226 @@
+"""The Database: a named catalog of tables, triggers, procedures and views.
+
+Each node of the DIPBench topology (Fig. 1) that is an RDBMS gets one
+Database instance.  The class also keeps the read/write statistics the
+engine's cost model consumes, and implements the deferred integrity check
+used by the benchmark's phase *post* verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import ProcedureError, SchemaError
+from repro.db.active import MaterializedView, StoredProcedure, Trigger
+from repro.db.relation import Relation, Row
+from repro.db.schema import TableSchema
+from repro.db.table import Table
+
+
+@dataclass(frozen=True)
+class DatabaseStatistics:
+    """Aggregate I/O counters over all tables of one database."""
+
+    rows_read: int
+    rows_written: int
+    trigger_fires: int
+    procedure_calls: int
+
+    def __sub__(self, other: "DatabaseStatistics") -> "DatabaseStatistics":
+        return DatabaseStatistics(
+            self.rows_read - other.rows_read,
+            self.rows_written - other.rows_written,
+            self.trigger_fires - other.trigger_fires,
+            self.procedure_calls - other.procedure_calls,
+        )
+
+
+class Database:
+    """One database instance.
+
+    >>> db = Database("berlin")
+    >>> from repro.db import Column, TableSchema
+    >>> db.create_table(TableSchema("t", [Column("k", "INTEGER", nullable=False)],
+    ...                             primary_key=("k",)))
+    Table(t, 0 rows)
+    >>> db.insert("t", {"k": 1})
+    {'k': 1}
+    """
+
+    def __init__(self, name: str):
+        if not name:
+            raise SchemaError("database needs a name")
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._triggers: dict[str, Trigger] = {}
+        self._procedures: dict[str, StoredProcedure] = {}
+        self._views: dict[str, MaterializedView] = {}
+
+    def __repr__(self) -> str:
+        return f"Database({self.name}, tables={sorted(self._tables)})"
+
+    # -- DDL -------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        if schema.name in self._tables:
+            raise SchemaError(f"{self.name}: table {schema.name} already exists")
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise SchemaError(f"{self.name}: no table {name}")
+        del self._tables[name]
+        self._triggers = {
+            trig_name: trig
+            for trig_name, trig in self._triggers.items()
+            if trig.table != name
+        }
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"{self.name}: no table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- triggers / procedures / views -----------------------------------------
+
+    def create_trigger(
+        self, name: str, table: str, body: Callable[["Database", Row], None]
+    ) -> Trigger:
+        """Register an AFTER INSERT trigger (Fig. 9a realization)."""
+        if name in self._triggers:
+            raise SchemaError(f"{self.name}: trigger {name} already exists")
+        self.table(table)  # validate target exists
+        trigger = Trigger(name, table, body)
+        self._triggers[name] = trigger
+        return trigger
+
+    def drop_trigger(self, name: str) -> None:
+        if name not in self._triggers:
+            raise SchemaError(f"{self.name}: no trigger {name}")
+        del self._triggers[name]
+
+    def trigger(self, name: str) -> Trigger:
+        try:
+            return self._triggers[name]
+        except KeyError:
+            raise SchemaError(f"{self.name}: no trigger {name!r}") from None
+
+    def create_procedure(
+        self, name: str, body: Callable[..., Any], description: str = ""
+    ) -> StoredProcedure:
+        if name in self._procedures:
+            raise SchemaError(f"{self.name}: procedure {name} already exists")
+        procedure = StoredProcedure(name, body, description)
+        self._procedures[name] = procedure
+        return procedure
+
+    def call_procedure(self, name: str, /, **params: Any) -> Any:
+        try:
+            procedure = self._procedures[name]
+        except KeyError:
+            raise ProcedureError(f"{self.name}: no procedure {name!r}") from None
+        return procedure.call(self, **params)
+
+    def has_procedure(self, name: str) -> bool:
+        return name in self._procedures
+
+    def create_materialized_view(
+        self, name: str, definition: Callable[["Database"], Relation]
+    ) -> MaterializedView:
+        if name in self._views:
+            raise SchemaError(f"{self.name}: view {name} already exists")
+        view = MaterializedView(name, definition)
+        self._views[name] = view
+        return view
+
+    def materialized_view(self, name: str) -> MaterializedView:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise SchemaError(f"{self.name}: no materialized view {name!r}") from None
+
+    @property
+    def view_names(self) -> list[str]:
+        return sorted(self._views)
+
+    # -- DML convenience ---------------------------------------------------------
+
+    def insert(self, table_name: str, values: Mapping[str, Any]) -> Row:
+        """Insert one row, then fire this table's AFTER INSERT triggers."""
+        table = self.table(table_name)
+        row = table.insert(values)
+        for trigger in self._triggers.values():
+            if trigger.table == table_name:
+                trigger.fire(self, row)
+        return row
+
+    def insert_many(
+        self, table_name: str, rows: Iterable[Mapping[str, Any]]
+    ) -> int:
+        count = 0
+        for values in rows:
+            self.insert(table_name, values)
+            count += 1
+        return count
+
+    def query(self, table_name: str) -> Relation:
+        """Snapshot a table as a relation (the building block of EXTRACT)."""
+        return self.table(table_name).to_relation()
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def truncate_all(self) -> None:
+        """Empty every table and invalidate every MV (period uninitialize)."""
+        for table in self._tables.values():
+            table.truncate()
+        for view in self._views.values():
+            view.invalidate()
+
+    def statistics(self) -> DatabaseStatistics:
+        return DatabaseStatistics(
+            rows_read=sum(t.rows_read for t in self._tables.values()),
+            rows_written=sum(t.rows_written for t in self._tables.values()),
+            trigger_fires=sum(t.fire_count for t in self._triggers.values()),
+            procedure_calls=sum(p.call_count for p in self._procedures.values()),
+        )
+
+    def check_integrity(self) -> list[str]:
+        """Deferred FK check; returns human-readable violations (empty = ok).
+
+        Used by the benchmark's phase *post*: after a period's streams have
+        run, the integrated data in the CDB/DWH/marts must be referentially
+        consistent.
+        """
+        violations: list[str] = []
+        for table in self._tables.values():
+            for fk in table.schema.foreign_keys:
+                if fk.parent_table not in self._tables:
+                    violations.append(
+                        f"{table.name}: FK parent table {fk.parent_table} missing"
+                    )
+                    continue
+                parent = self._tables[fk.parent_table]
+                parent_keys = {
+                    tuple(row[c] for c in fk.parent_columns) for row in parent
+                }
+                for row in table:
+                    key = tuple(row[c] for c in fk.columns)
+                    if any(part is None for part in key):
+                        continue
+                    if key not in parent_keys:
+                        violations.append(
+                            f"{table.name}: {fk.columns}={key} not in "
+                            f"{fk.parent_table}{fk.parent_columns}"
+                        )
+        return violations

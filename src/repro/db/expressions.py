@@ -1,0 +1,289 @@
+"""A small typed expression language for predicates and projections.
+
+Integration processes express selections ("filter the right location",
+P05/P06), switch conditions ("Custkey < 1 000 000", P02) and computed
+projections as expression trees over row dictionaries.  Building the trees
+with the :func:`col`, :func:`lit` and :func:`func` helpers gives natural
+syntax::
+
+    predicate = (col("location") == lit("Berlin")) & (col("qty") > lit(0))
+"""
+
+from __future__ import annotations
+
+import operator
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Mapping
+
+from repro.errors import QueryError
+
+
+class Expression(ABC):
+    """Base class: an expression evaluates against one row (a mapping)."""
+
+    @abstractmethod
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        """Evaluate against ``row``; unknown columns raise QueryError."""
+
+    @abstractmethod
+    def referenced_columns(self) -> frozenset[str]:
+        """All column names this expression reads (for pushdown analysis)."""
+
+    # -- operator sugar ------------------------------------------------------
+
+    def _binop(self, op_name: str, other: Any) -> "BinaryOp":
+        if not isinstance(other, Expression):
+            other = Literal(other)
+        return BinaryOp(op_name, self, other)
+
+    def __eq__(self, other: Any) -> "BinaryOp":  # type: ignore[override]
+        return self._binop("=", other)
+
+    def __ne__(self, other: Any) -> "BinaryOp":  # type: ignore[override]
+        return self._binop("<>", other)
+
+    def __lt__(self, other: Any) -> "BinaryOp":
+        return self._binop("<", other)
+
+    def __le__(self, other: Any) -> "BinaryOp":
+        return self._binop("<=", other)
+
+    def __gt__(self, other: Any) -> "BinaryOp":
+        return self._binop(">", other)
+
+    def __ge__(self, other: Any) -> "BinaryOp":
+        return self._binop(">=", other)
+
+    def __add__(self, other: Any) -> "BinaryOp":
+        return self._binop("+", other)
+
+    def __sub__(self, other: Any) -> "BinaryOp":
+        return self._binop("-", other)
+
+    def __mul__(self, other: Any) -> "BinaryOp":
+        return self._binop("*", other)
+
+    def __and__(self, other: Any) -> "BinaryOp":
+        return self._binop("AND", other)
+
+    def __or__(self, other: Any) -> "BinaryOp":
+        return self._binop("OR", other)
+
+    def __invert__(self) -> "UnaryOp":
+        return UnaryOp("NOT", self)
+
+    def __hash__(self) -> int:  # Expressions are identity-hashed.
+        return id(self)
+
+
+class ColumnRef(Expression):
+    """Reference to a column of the current row."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise QueryError("empty column name")
+        self.name = name
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise QueryError(
+                f"unknown column {self.name!r}; row has {sorted(row)}"
+            ) from None
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+class Literal(Expression):
+    """A constant value."""
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+def _sql_eq(left: Any, right: Any) -> bool | None:
+    if left is None or right is None:
+        return None
+    return left == right
+
+
+def _null_guard(fn: Callable[[Any, Any], Any]) -> Callable[[Any, Any], Any]:
+    """SQL three-valued logic: any NULL operand yields NULL."""
+
+    def guarded(left: Any, right: Any) -> Any:
+        if left is None or right is None:
+            return None
+        return fn(left, right)
+
+    return guarded
+
+
+_BINARY_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "=": _sql_eq,
+    "<>": _null_guard(operator.ne),
+    "<": _null_guard(operator.lt),
+    "<=": _null_guard(operator.le),
+    ">": _null_guard(operator.gt),
+    ">=": _null_guard(operator.ge),
+    "+": _null_guard(operator.add),
+    "-": _null_guard(operator.sub),
+    "*": _null_guard(operator.mul),
+    "/": _null_guard(operator.truediv),
+}
+
+
+class BinaryOp(Expression):
+    """A binary operation with SQL null semantics.
+
+    AND/OR follow three-valued logic (``NULL AND FALSE`` is FALSE,
+    ``NULL OR TRUE`` is TRUE); comparisons with NULL yield NULL, which
+    selections treat as *not satisfied*.
+    """
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in _BINARY_OPS and op not in ("AND", "OR"):
+            raise QueryError(f"unknown binary operator: {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        if self.op == "AND":
+            left = self.left.evaluate(row)
+            if left is False:
+                return False
+            right = self.right.evaluate(row)
+            if right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return bool(left) and bool(right)
+        if self.op == "OR":
+            left = self.left.evaluate(row)
+            if left is True:
+                return True
+            right = self.right.evaluate(row)
+            if right is True:
+                return True
+            if left is None or right is None:
+                return None
+            return bool(left) or bool(right)
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        try:
+            return _BINARY_OPS[self.op](left, right)
+        except TypeError as exc:
+            raise QueryError(
+                f"type error in {left!r} {self.op} {right!r}: {exc}"
+            ) from exc
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class UnaryOp(Expression):
+    """NOT, IS NULL and IS NOT NULL."""
+
+    _OPS = ("NOT", "IS NULL", "IS NOT NULL", "-")
+
+    def __init__(self, op: str, operand: Expression):
+        if op not in self._OPS:
+            raise QueryError(f"unknown unary operator: {op!r}")
+        self.op = op
+        self.operand = operand
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        value = self.operand.evaluate(row)
+        if self.op == "NOT":
+            return None if value is None else not bool(value)
+        if self.op == "IS NULL":
+            return value is None
+        if self.op == "IS NOT NULL":
+            return value is not None
+        return None if value is None else -value
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.operand.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.op} {self.operand!r})"
+
+
+_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "UPPER": lambda s: None if s is None else s.upper(),
+    "LOWER": lambda s: None if s is None else s.lower(),
+    "LENGTH": lambda s: None if s is None else len(s),
+    "SUBSTR": lambda s, start, n=None: (
+        None if s is None else (s[start - 1 :] if n is None else s[start - 1 : start - 1 + n])
+    ),
+    "CONCAT": lambda *parts: (
+        None if any(p is None for p in parts) else "".join(str(p) for p in parts)
+    ),
+    "ABS": lambda x: None if x is None else abs(x),
+    "COALESCE": lambda *xs: next((x for x in xs if x is not None), None),
+    # Built-in time dimension functions of the DWH schema (Fig. 3).
+    "DAY": lambda d: None if d is None else d.day,
+    "MONTH": lambda d: None if d is None else d.month,
+    "YEAR": lambda d: None if d is None else d.year,
+}
+
+
+class FunctionCall(Expression):
+    """Call of a built-in scalar function, e.g. YEAR(orderdate)."""
+
+    def __init__(self, name: str, *args: Expression):
+        canonical = name.upper()
+        if canonical not in _FUNCTIONS:
+            raise QueryError(f"unknown function: {name!r}")
+        self.name = canonical
+        self.args = tuple(args)
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        values = [arg.evaluate(row) for arg in self.args]
+        try:
+            return _FUNCTIONS[self.name](*values)
+        except (TypeError, AttributeError, IndexError) as exc:
+            raise QueryError(f"error in {self.name}({values!r}): {exc}") from exc
+
+    def referenced_columns(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for arg in self.args:
+            out |= arg.referenced_columns()
+        return out
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        return f"{self.name}({args})"
+
+
+def col(name: str) -> ColumnRef:
+    """Shorthand for :class:`ColumnRef`."""
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Literal:
+    """Shorthand for :class:`Literal`."""
+    return Literal(value)
+
+
+def func(name: str, *args: Expression | Any) -> FunctionCall:
+    """Shorthand for :class:`FunctionCall`; bare values become literals."""
+    wrapped = tuple(a if isinstance(a, Expression) else Literal(a) for a in args)
+    return FunctionCall(name, *wrapped)

@@ -1,0 +1,305 @@
+"""Relations and the relational operator algebra.
+
+A :class:`Relation` is an immutable bag of rows (dicts) with a declared
+column order.  All integration-process data flows in the engine move
+relations between operators; the methods here are exactly the operators the
+DIPBench process types need: selection, projection (with renaming),
+hash join, UNION DISTINCT (used heavily by P03 and P09), grouping,
+sorting and de-duplication.
+
+Every operator returns a new Relation and leaves its inputs untouched,
+which keeps operator graphs side-effect free (a property the optimizer
+rewrites rely on).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import QueryError
+from repro.db.expressions import Expression
+
+Row = dict[str, Any]
+
+
+class Relation:
+    """An ordered-column bag of rows.
+
+    >>> r = Relation(("a", "b"), [{"a": 1, "b": 2}])
+    >>> r.project({"a": "x"}).columns
+    ('x',)
+    """
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Mapping[str, Any]]):
+        self.columns: tuple[str, ...] = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise QueryError(f"duplicate columns in relation: {self.columns}")
+        materialized: list[Row] = []
+        column_set = set(self.columns)
+        for row in rows:
+            missing = column_set - row.keys()
+            if missing:
+                raise QueryError(f"row is missing columns {sorted(missing)}")
+            materialized.append({name: row[name] for name in self.columns})
+        self.rows: list[Row] = materialized
+
+    # -- basics ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.columns}, {len(self.rows)} rows)"
+
+    @classmethod
+    def empty(cls, columns: Sequence[str]) -> "Relation":
+        return cls(columns, [])
+
+    def key_tuple(self, row: Row, key_columns: Sequence[str]) -> tuple:
+        return tuple(row[k] for k in key_columns)
+
+    def _require_columns(self, names: Iterable[str]) -> None:
+        unknown = [n for n in names if n not in self.columns]
+        if unknown:
+            raise QueryError(f"unknown columns {unknown}; have {self.columns}")
+
+    # -- operators --------------------------------------------------------------
+
+    def select(self, predicate: Expression | Callable[[Row], Any]) -> "Relation":
+        """Selection: keep rows whose predicate evaluates to true.
+
+        NULL (None) predicate results count as *not satisfied*, per SQL.
+        """
+        if isinstance(predicate, Expression):
+            keep = [row for row in self.rows if predicate.evaluate(row) is True]
+        else:
+            keep = [row for row in self.rows if predicate(row)]
+        return Relation(self.columns, keep)
+
+    def project(
+        self,
+        mapping: Mapping[str, str | Expression],
+    ) -> "Relation":
+        """Projection with renaming and computed columns.
+
+        ``mapping`` maps *output* column name to either an input column
+        name (pure rename/keep) or an :class:`Expression` (computed).
+        This is the "projection … in order to rename the attributes"
+        of process types P05–P07 and the schema mappings of P11/P14.
+        """
+        plain: dict[str, str] = {}
+        computed: dict[str, Expression] = {}
+        for out_name, source in mapping.items():
+            if isinstance(source, Expression):
+                computed[out_name] = source
+            else:
+                plain[out_name] = source
+        self._require_columns(plain.values())
+        out_columns = tuple(mapping.keys())
+        out_rows: list[Row] = []
+        for row in self.rows:
+            new_row: Row = {}
+            for out_name, in_name in plain.items():
+                new_row[out_name] = row[in_name]
+            for out_name, expr in computed.items():
+                new_row[out_name] = expr.evaluate(row)
+            out_rows.append(new_row)
+        return Relation(out_columns, out_rows)
+
+    def keep(self, *names: str) -> "Relation":
+        """Projection without renaming: keep the named columns."""
+        self._require_columns(names)
+        return Relation(
+            names, [{n: row[n] for n in names} for row in self.rows]
+        )
+
+    def extend(self, name: str, expr: Expression | Callable[[Row], Any]) -> "Relation":
+        """Append one computed column to every row."""
+        if name in self.columns:
+            raise QueryError(f"column {name!r} already exists")
+        rows: list[Row] = []
+        for row in self.rows:
+            value = expr.evaluate(row) if isinstance(expr, Expression) else expr(row)
+            new_row = dict(row)
+            new_row[name] = value
+            rows.append(new_row)
+        return Relation(self.columns + (name,), rows)
+
+    def distinct(self, key_columns: Sequence[str] | None = None) -> "Relation":
+        """Remove duplicates; with ``key_columns``, the *first* row per key wins.
+
+        The key-based form implements the UNION DISTINCT semantics of P03
+        and P09, where rows from several sources are merged "concerning the
+        Orderkey, Custkey and Productkey".
+        """
+        keys = tuple(key_columns) if key_columns else self.columns
+        self._require_columns(keys)
+        seen: set[tuple] = set()
+        out: list[Row] = []
+        for row in self.rows:
+            key = self.key_tuple(row, keys)
+            if key not in seen:
+                seen.add(key)
+                out.append(row)
+        return Relation(self.columns, out)
+
+    def union_all(self, other: "Relation") -> "Relation":
+        """Bag union; both inputs must have identical column tuples."""
+        if self.columns != other.columns:
+            raise QueryError(
+                f"union over different schemas: {self.columns} vs {other.columns}"
+            )
+        return Relation(self.columns, self.rows + other.rows)
+
+    def union_distinct(
+        self, other: "Relation", key_columns: Sequence[str] | None = None
+    ) -> "Relation":
+        """UNION DISTINCT, optionally keyed (first occurrence wins)."""
+        return self.union_all(other).distinct(key_columns)
+
+    def join(
+        self,
+        other: "Relation",
+        on: Sequence[tuple[str, str]],
+        how: str = "inner",
+        suffix: str = "_r",
+    ) -> "Relation":
+        """Hash join on equality of column pairs ``(left_col, right_col)``.
+
+        ``how`` is ``inner`` or ``left``.  Right-side columns that collide
+        with left-side names get ``suffix`` appended (join keys from the
+        right are dropped since they equal the left's).
+        """
+        if how not in ("inner", "left"):
+            raise QueryError(f"unsupported join type: {how!r}")
+        if not on:
+            raise QueryError("join needs at least one key pair")
+        left_keys = [pair[0] for pair in on]
+        right_keys = [pair[1] for pair in on]
+        self._require_columns(left_keys)
+        other._require_columns(right_keys)
+
+        right_key_set = set(right_keys)
+        rename: dict[str, str] = {}
+        for name in other.columns:
+            if name in right_key_set:
+                continue
+            rename[name] = name + suffix if name in self.columns else name
+
+        out_columns = self.columns + tuple(rename.values())
+
+        index: dict[tuple, list[Row]] = {}
+        for row in other.rows:
+            key = tuple(row[k] for k in right_keys)
+            if any(part is None for part in key):
+                continue  # NULL never joins
+            index.setdefault(key, []).append(row)
+
+        out_rows: list[Row] = []
+        null_right = {out: None for out in rename.values()}
+        for row in self.rows:
+            key = tuple(row[k] for k in left_keys)
+            matches = [] if any(part is None for part in key) else index.get(key, [])
+            if matches:
+                for match in matches:
+                    combined = dict(row)
+                    for in_name, out_name in rename.items():
+                        combined[out_name] = match[in_name]
+                    out_rows.append(combined)
+            elif how == "left":
+                combined = dict(row)
+                combined.update(null_right)
+                out_rows.append(combined)
+        return Relation(out_columns, out_rows)
+
+    def group_by(
+        self,
+        key_columns: Sequence[str],
+        aggregates: Mapping[str, tuple[str, str | None]],
+    ) -> "Relation":
+        """Grouping with aggregates.
+
+        ``aggregates`` maps output name to ``(function, input_column)``
+        where function is COUNT / SUM / MIN / MAX / AVG; COUNT may take
+        None as input column meaning COUNT(*).
+        """
+        keys = tuple(key_columns)
+        self._require_columns(keys)
+        for fn_name, in_col in aggregates.values():
+            if fn_name.upper() not in ("COUNT", "SUM", "MIN", "MAX", "AVG"):
+                raise QueryError(f"unknown aggregate {fn_name!r}")
+            if in_col is not None:
+                self._require_columns([in_col])
+
+        groups: dict[tuple, list[Row]] = {}
+        order: list[tuple] = []
+        for row in self.rows:
+            key = self.key_tuple(row, keys)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+
+        out_columns = keys + tuple(aggregates.keys())
+        out_rows: list[Row] = []
+        for key in order:
+            members = groups[key]
+            out_row: Row = dict(zip(keys, key))
+            for out_name, (fn_name, in_col) in aggregates.items():
+                fn = fn_name.upper()
+                if fn == "COUNT":
+                    if in_col is None:
+                        out_row[out_name] = len(members)
+                    else:
+                        out_row[out_name] = sum(
+                            1 for m in members if m[in_col] is not None
+                        )
+                    continue
+                values = [m[in_col] for m in members if m[in_col] is not None]
+                if not values:
+                    out_row[out_name] = None
+                elif fn == "SUM":
+                    out_row[out_name] = sum(values)
+                elif fn == "MIN":
+                    out_row[out_name] = min(values)
+                elif fn == "MAX":
+                    out_row[out_name] = max(values)
+                else:  # AVG
+                    out_row[out_name] = sum(values) / len(values)
+            out_rows.append(out_row)
+        return Relation(out_columns, out_rows)
+
+    def order_by(
+        self, key_columns: Sequence[str], descending: bool = False
+    ) -> "Relation":
+        """Stable sort by the given columns (NULLs sort first)."""
+        keys = tuple(key_columns)
+        self._require_columns(keys)
+
+        def sort_key(row: Row) -> tuple:
+            return tuple(
+                (row[k] is not None, row[k]) for k in keys
+            )
+
+        ordered = sorted(self.rows, key=sort_key, reverse=descending)
+        return Relation(self.columns, ordered)
+
+    def limit(self, n: int) -> "Relation":
+        if n < 0:
+            raise QueryError(f"limit must be >= 0, got {n}")
+        return Relation(self.columns, self.rows[:n])
+
+    # -- conversion helpers -----------------------------------------------------
+
+    def to_dicts(self) -> list[Row]:
+        """Deep-enough copy of all rows as plain dicts."""
+        return [dict(row) for row in self.rows]
+
+    def column_values(self, name: str) -> list[Any]:
+        self._require_columns([name])
+        return [row[name] for row in self.rows]

@@ -1,0 +1,118 @@
+"""Table and column definitions.
+
+A :class:`TableSchema` is a pure description — it owns no data.  The same
+schema object is reused by the Initializer to create tables in several
+database instances (e.g. the identical Orders table in Chicago, Baltimore
+and Madison, Fig. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+from repro.db.types import validate_type_name
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: name, SQL type, nullability and optional length.
+
+    ``length`` is advisory for VARCHAR/CHAR (the engine does not truncate,
+    but the Initializer uses it to size generated strings).
+    """
+
+    name: str
+    sql_type: str
+    nullable: bool = True
+    length: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+        object.__setattr__(self, "sql_type", validate_type_name(self.sql_type))
+        if self.length is not None and self.length <= 0:
+            raise SchemaError(f"column {self.name}: length must be positive")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A declarative foreign key: local columns reference a parent table.
+
+    The engine checks foreign keys only when ``Database.check_integrity``
+    is called (the paper's phase *post* verification), not on every insert —
+    integration processes legitimately load child rows before parents.
+    """
+
+    columns: tuple[str, ...]
+    parent_table: str
+    parent_columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.parent_columns):
+            raise SchemaError(
+                f"foreign key to {self.parent_table}: column count mismatch"
+            )
+        if not self.columns:
+            raise SchemaError("foreign key needs at least one column")
+
+
+class TableSchema:
+    """Schema of one table: columns, primary key, foreign keys.
+
+    >>> ts = TableSchema("nation", [Column("nationkey", "INTEGER", nullable=False),
+    ...                             Column("name", "VARCHAR", length=25)],
+    ...                  primary_key=("nationkey",))
+    >>> ts.column_names
+    ('nationkey', 'name')
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: list[Column],
+        primary_key: tuple[str, ...] = (),
+        foreign_keys: list[ForeignKey] | None = None,
+    ):
+        if not name or not name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid table name: {name!r}")
+        if not columns:
+            raise SchemaError(f"table {name}: needs at least one column")
+        self.name = name
+        self.columns: tuple[Column, ...] = tuple(columns)
+        self.primary_key: tuple[str, ...] = tuple(primary_key)
+        self.foreign_keys: tuple[ForeignKey, ...] = tuple(foreign_keys or ())
+
+        self._by_name: dict[str, Column] = {}
+        for column in self.columns:
+            if column.name in self._by_name:
+                raise SchemaError(f"table {name}: duplicate column {column.name}")
+            self._by_name[column.name] = column
+        for pk_col in self.primary_key:
+            if pk_col not in self._by_name:
+                raise SchemaError(f"table {name}: unknown PK column {pk_col}")
+        for fk in self.foreign_keys:
+            for fk_col in fk.columns:
+                if fk_col not in self._by_name:
+                    raise SchemaError(f"table {name}: unknown FK column {fk_col}")
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"table {self.name}: no column {name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def pk_of(self, row: dict) -> tuple:
+        """Extract the primary-key tuple from a row dict."""
+        return tuple(row[pk_col] for pk_col in self.primary_key)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name} {c.sql_type}" for c in self.columns)
+        return f"TableSchema({self.name}: {cols})"

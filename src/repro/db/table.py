@@ -1,0 +1,236 @@
+"""Mutable tables: storage, constraints, indexes and DML.
+
+Tables enforce column types (with coercion), NOT NULL and primary-key
+uniqueness on every write.  Secondary hash indexes can be declared for the
+equality lookups the scenario runs constantly (e.g. finding a customer's
+master data during message enrichment, P04).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import IntegrityError, QueryError, SchemaError
+from repro.db.expressions import Expression
+from repro.db.relation import Relation, Row
+from repro.db.schema import TableSchema
+from repro.db.types import coerce_value
+
+
+class Table:
+    """One table instance inside a :class:`~repro.db.database.Database`.
+
+    Rows are stored as dicts keyed by column name.  The primary key (if
+    declared) is backed by a hash index and enforced on insert/update.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: list[Row] = []
+        self._pk_index: dict[tuple, int] | None = (
+            {} if schema.primary_key else None
+        )
+        # name -> (columns, mapping key -> list of row positions)
+        self._secondary: dict[str, tuple[tuple[str, ...], dict[tuple, list[int]]]] = {}
+        # Counters feeding the engine's processing-cost model.
+        self.rows_read = 0
+        self.rows_written = 0
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name}, {len(self)} rows)"
+
+    # -- index management ----------------------------------------------------------
+
+    def create_index(self, index_name: str, columns: Sequence[str]) -> None:
+        """Create a secondary hash index over ``columns``."""
+        if index_name in self._secondary:
+            raise SchemaError(f"index {index_name!r} already exists on {self.name}")
+        cols = tuple(columns)
+        for column in cols:
+            if not self.schema.has_column(column):
+                raise SchemaError(f"table {self.name}: no column {column!r}")
+        mapping: dict[tuple, list[int]] = {}
+        for position, row in enumerate(self._rows):
+            mapping.setdefault(tuple(row[c] for c in cols), []).append(position)
+        self._secondary[index_name] = (cols, mapping)
+
+    def _rebuild_indexes(self) -> None:
+        if self._pk_index is not None:
+            self._pk_index = {
+                self.schema.pk_of(row): position
+                for position, row in enumerate(self._rows)
+            }
+        for index_name, (cols, _) in list(self._secondary.items()):
+            mapping: dict[tuple, list[int]] = {}
+            for position, row in enumerate(self._rows):
+                mapping.setdefault(tuple(row[c] for c in cols), []).append(position)
+            self._secondary[index_name] = (cols, mapping)
+
+    # -- DML -------------------------------------------------------------------
+
+    def _normalize(self, values: Mapping[str, Any]) -> Row:
+        unknown = set(values) - set(self.schema.column_names)
+        if unknown:
+            raise SchemaError(
+                f"table {self.name}: unknown columns {sorted(unknown)}"
+            )
+        row: Row = {}
+        for column in self.schema.columns:
+            value = coerce_value(column.sql_type, values.get(column.name))
+            if value is None and not column.nullable:
+                raise IntegrityError(
+                    f"table {self.name}: column {column.name} is NOT NULL"
+                )
+            row[column.name] = value
+        return row
+
+    def insert(self, values: Mapping[str, Any]) -> Row:
+        """Insert one row; returns the normalized stored row."""
+        row = self._normalize(values)
+        if self._pk_index is not None:
+            key = self.schema.pk_of(row)
+            if key in self._pk_index:
+                raise IntegrityError(
+                    f"table {self.name}: duplicate primary key {key}"
+                )
+            self._pk_index[key] = len(self._rows)
+        position = len(self._rows)
+        self._rows.append(row)
+        for cols, mapping in self._secondary.values():
+            mapping.setdefault(tuple(row[c] for c in cols), []).append(position)
+        self.rows_written += 1
+        return row
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Bulk insert; returns the number of rows inserted."""
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def upsert(self, values: Mapping[str, Any]) -> Row:
+        """Insert, or replace the existing row with the same primary key.
+
+        Master-data replication (P02) uses upsert semantics: a changed
+        customer record overwrites the stale copy in the regional database.
+        """
+        if self._pk_index is None:
+            raise IntegrityError(f"table {self.name}: upsert needs a primary key")
+        row = self._normalize(values)
+        key = self.schema.pk_of(row)
+        position = self._pk_index.get(key)
+        if position is None:
+            return self.insert(values)
+        self._rows[position] = row
+        self._rebuild_indexes()
+        self.rows_written += 1
+        return row
+
+    def delete(self, predicate: Expression | Callable[[Row], Any] | None = None) -> int:
+        """Delete matching rows (all rows when predicate is None)."""
+        if predicate is None:
+            removed = len(self._rows)
+            self._rows.clear()
+        else:
+            if isinstance(predicate, Expression):
+                keep = [r for r in self._rows if predicate.evaluate(r) is not True]
+            else:
+                keep = [r for r in self._rows if not predicate(r)]
+            removed = len(self._rows) - len(keep)
+            self._rows = keep
+        if removed:
+            self._rebuild_indexes()
+            self.rows_written += removed
+        return removed
+
+    def update(
+        self,
+        assignments: Mapping[str, Any | Expression],
+        predicate: Expression | Callable[[Row], Any] | None = None,
+    ) -> int:
+        """Update matching rows; assignment values may be expressions."""
+        unknown = set(assignments) - set(self.schema.column_names)
+        if unknown:
+            raise SchemaError(f"table {self.name}: unknown columns {sorted(unknown)}")
+        updated = 0
+        for position, row in enumerate(self._rows):
+            if predicate is not None:
+                if isinstance(predicate, Expression):
+                    if predicate.evaluate(row) is not True:
+                        continue
+                elif not predicate(row):
+                    continue
+            new_values = dict(row)
+            for name, value in assignments.items():
+                if isinstance(value, Expression):
+                    value = value.evaluate(row)
+                new_values[name] = value
+            self._rows[position] = self._normalize(new_values)
+            updated += 1
+        if updated:
+            self._rebuild_indexes()
+            self.rows_written += updated
+        return updated
+
+    def truncate(self) -> int:
+        """Remove all rows (the Initializer's *uninitialize* step)."""
+        return self.delete(None)
+
+    # -- reads ------------------------------------------------------------------
+
+    def get(self, key: tuple | Any) -> Row | None:
+        """Primary-key point lookup; scalar keys may be passed bare."""
+        if self._pk_index is None:
+            raise QueryError(f"table {self.name}: no primary key declared")
+        if not isinstance(key, tuple):
+            key = (key,)
+        position = self._pk_index.get(key)
+        self.rows_read += 1
+        return dict(self._rows[position]) if position is not None else None
+
+    def lookup(self, index_name: str, key: tuple | Any) -> list[Row]:
+        """Equality lookup via a secondary index."""
+        try:
+            cols, mapping = self._secondary[index_name]
+        except KeyError:
+            raise QueryError(
+                f"table {self.name}: no index {index_name!r}"
+            ) from None
+        if not isinstance(key, tuple):
+            key = (key,)
+        if len(key) != len(cols):
+            raise QueryError(
+                f"index {index_name} expects {len(cols)} key parts, got {len(key)}"
+            )
+        positions = mapping.get(key, [])
+        self.rows_read += len(positions)
+        return [dict(self._rows[p]) for p in positions]
+
+    def scan(
+        self, predicate: Expression | Callable[[Row], Any] | None = None
+    ) -> list[Row]:
+        """Full scan, optionally filtered."""
+        self.rows_read += len(self._rows)
+        if predicate is None:
+            return [dict(r) for r in self._rows]
+        if isinstance(predicate, Expression):
+            return [dict(r) for r in self._rows if predicate.evaluate(r) is True]
+        return [dict(r) for r in self._rows if predicate(r)]
+
+    def to_relation(self) -> Relation:
+        """Snapshot the table contents as a :class:`Relation`."""
+        self.rows_read += len(self._rows)
+        return Relation(self.schema.column_names, [dict(r) for r in self._rows])

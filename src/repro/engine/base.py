@@ -1,0 +1,270 @@
+"""Engine base: events, instance records, the worker queue model.
+
+An engine receives *process-initiating events* (the serialized streams of
+Section V): for event type E1 an inbound message with a deadline, for E2 a
+bare timer.  Execution happens in virtual time against a bounded worker
+pool — arrivals that outpace service build a queue, instances wait, and
+the management cost of later arrivals grows, which is how the benchmark's
+time scale factor t translates into measurable pressure.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import DeploymentError, EngineError
+from repro.engine.costs import CostBreakdown, CostParameters
+from repro.mtm.message import Message
+from repro.mtm.process import EventType, ProcessType, assert_valid_definition
+from repro.services.registry import ServiceRegistry
+
+
+@dataclass(frozen=True)
+class ProcessEvent:
+    """One process-initiating event from a benchmark stream.
+
+    ``deadline`` is the scheduled execution timestamp in tu (Table II);
+    ``message`` is present exactly for event type E1.
+    """
+
+    process_id: str
+    deadline: float
+    message: Message | None = None
+    period: int = 0
+    stream: str = ""
+
+    @property
+    def event_type(self) -> EventType:
+        return EventType.E1_MESSAGE if self.message is not None else EventType.E2_SCHEDULE
+
+
+@dataclass
+class InstanceRecord:
+    """Execution record of one process instance.
+
+    ``arrival`` is the schedule deadline, ``start`` when a worker picked
+    the instance up, ``completion`` when it finished.  ``costs`` holds the
+    modeled C_c/C_m/C_p; ``costs.total`` is the normalized cost NC(p) the
+    metric consumes (independent of queue wait, hence comparable across
+    concurrency levels — the normalization Section V calls for).
+    """
+
+    instance_id: int
+    process_id: str
+    period: int
+    stream: str
+    arrival: float
+    start: float
+    completion: float
+    costs: CostBreakdown
+    status: str = "ok"
+    error: str = ""
+    queue_length_at_arrival: int = 0
+    operators_executed: int = 0
+    validation_failures: int = 0
+
+    @property
+    def elapsed(self) -> float:
+        return self.completion - self.arrival
+
+    @property
+    def wait(self) -> float:
+        return self.start - self.arrival
+
+    @property
+    def normalized_cost(self) -> float:
+        return self.costs.total
+
+
+class IntegrationEngine:
+    """Base engine: deployment, the worker queue, instance bookkeeping.
+
+    Subclasses implement :meth:`_execute_instance` which runs the process
+    logic and returns (costs, operators_executed, validation_failures).
+    """
+
+    #: Human-readable engine kind for plots/reports.
+    engine_name = "abstract"
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        host: str = "IS",
+        costs: CostParameters | None = None,
+        worker_count: int = 4,
+        parallel_efficiency: float = 1.0,
+    ):
+        if worker_count < 1:
+            raise EngineError(f"worker count must be >= 1, got {worker_count}")
+        if not 0.0 <= parallel_efficiency <= 1.0:
+            raise EngineError(
+                f"parallel efficiency must be in [0, 1]: {parallel_efficiency}"
+            )
+        self.registry = registry
+        self.host = host
+        #: Where E1 messages physically come from: the applications
+        #: (Vienna, San Diego, MDM, Hongkong) all live on the external
+        #: systems host, so inbound delivery is a network transfer too.
+        self.message_source_host = "ES"
+        self.cost_parameters = costs or CostParameters()
+        self.worker_count = worker_count
+        self.parallel_efficiency = parallel_efficiency
+        self._processes: dict[str, ProcessType] = {}
+        self._instance_counter = itertools.count(1)
+        #: Completion times of busy workers (virtual-time worker pool).
+        self._worker_free: list[float] = []
+        #: Completion times of every admitted instance still in the
+        #: system (in service *or* queued) — the load signal feeding the
+        #: management-cost model.
+        self._in_system: list[float] = []
+        #: Load beyond this many queued instances no longer increases
+        #: per-instance management cost (admission control keeps the
+        #: self-management effect bounded).
+        self.management_queue_cap = 16
+        self.records: list[InstanceRecord] = []
+
+    # -- deployment -----------------------------------------------------------
+
+    def deploy(self, process: ProcessType) -> None:
+        """Validate and install one process type."""
+        if process.process_id in self._processes:
+            raise DeploymentError(
+                f"{self.engine_name}: {process.process_id} already deployed"
+            )
+        self._processes[process.process_id] = process
+        # Subprocess references may point at processes deployed later, so
+        # re-validate the whole set.
+        known = set(self._processes)
+        for deployed in self._processes.values():
+            unknown = [s for s in deployed.subprocess_ids() if s not in known]
+            if not unknown:
+                assert_valid_definition(deployed)
+
+    def deploy_all(self, processes: Iterable[ProcessType]) -> None:
+        for process in processes:
+            self.deploy(process)
+        missing: list[str] = []
+        for process in self._processes.values():
+            missing.extend(
+                s for s in process.subprocess_ids() if s not in self._processes
+            )
+        if missing:
+            raise DeploymentError(
+                f"{self.engine_name}: unresolved subprocesses {sorted(set(missing))}"
+            )
+
+    def process_type(self, process_id: str) -> ProcessType:
+        try:
+            return self._processes[process_id]
+        except KeyError:
+            raise DeploymentError(
+                f"{self.engine_name}: process {process_id!r} not deployed"
+            ) from None
+
+    @property
+    def deployed_ids(self) -> list[str]:
+        return sorted(self._processes)
+
+    # -- worker-pool model ---------------------------------------------------------
+
+    def _queue_length(self, at_time: float) -> int:
+        """Instances still in the system (in service or queued) at
+        ``at_time``, capped at :attr:`management_queue_cap`.
+
+        This is the load signal for the management-cost model: arrivals
+        that outpace service pile up here, which is how "a shorter
+        interval … reduces the time for self-management and thus reduces
+        the performance of the system" becomes measurable.
+        """
+        while self._in_system and self._in_system[0] <= at_time:
+            heapq.heappop(self._in_system)
+        return min(len(self._in_system), self.management_queue_cap)
+
+    def _admit(self, arrival: float, service_time: float) -> tuple[float, float]:
+        """Admit one instance; returns (start, completion) in tu."""
+        while self._worker_free and self._worker_free[0] <= arrival:
+            heapq.heappop(self._worker_free)
+        if len(self._worker_free) < self.worker_count:
+            start = arrival
+        else:
+            start = heapq.heappop(self._worker_free)
+        completion = start + service_time
+        heapq.heappush(self._worker_free, completion)
+        heapq.heappush(self._in_system, completion)
+        return start, completion
+
+    def reset_workers(self) -> None:
+        """Clear the worker pool between benchmark periods."""
+        self._worker_free.clear()
+        self._in_system.clear()
+
+    # -- event handling ----------------------------------------------------------
+
+    def handle_event(self, event: ProcessEvent) -> InstanceRecord:
+        """Execute one process-initiating event; returns its record."""
+        process = self.process_type(event.process_id)
+        if process.event_type is not event.event_type:
+            raise EngineError(
+                f"{event.process_id} is {process.event_type.value}-initiated "
+                f"but received a {event.event_type.value} event"
+            )
+        queue_length = self._queue_length(event.deadline)
+        status, error = "ok", ""
+        try:
+            costs, operators, failures = self._execute_instance(
+                process, event, queue_length
+            )
+            # Inbound message delivery is itself a network transfer
+            # (C_c includes waiting for external systems, Section V).
+            if event.message is not None and self.registry.network.has_host(
+                self.message_source_host
+            ):
+                costs.communication += self.registry.network.transfer_cost(
+                    self.message_source_host, self.host,
+                    event.message.size_units,
+                )
+        except Exception as exc:  # instance failure, not engine crash
+            costs = CostBreakdown(
+                management=self.cost_parameters.management_cost(queue_length)
+            )
+            operators, failures = 0, 0
+            status, error = "error", f"{type(exc).__name__}: {exc}"
+        start, completion = self._admit(
+            event.deadline, costs.management + costs.processing + costs.communication
+        )
+        record = InstanceRecord(
+            instance_id=next(self._instance_counter),
+            process_id=event.process_id,
+            period=event.period,
+            stream=event.stream,
+            arrival=event.deadline,
+            start=start,
+            completion=completion,
+            costs=costs,
+            status=status,
+            error=error,
+            queue_length_at_arrival=queue_length,
+            operators_executed=operators,
+            validation_failures=failures,
+        )
+        self.records.append(record)
+        return record
+
+    def _execute_instance(
+        self, process: ProcessType, event: ProcessEvent, queue_length: int
+    ) -> tuple[CostBreakdown, int, int]:
+        raise NotImplementedError
+
+    # -- statistics ---------------------------------------------------------------
+
+    def records_for(self, process_id: str) -> list[InstanceRecord]:
+        return [r for r in self.records if r.process_id == process_id]
+
+    def clear_records(self) -> None:
+        self.records.clear()
+
+    def error_records(self) -> list[InstanceRecord]:
+        return [r for r in self.records if r.status != "ok"]

@@ -1,0 +1,140 @@
+"""Exception hierarchy for the DIPBench reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch problems at the granularity they care about: a benchmark driver
+catches ``ReproError``, a process engine distinguishes ``ValidationError``
+(expected, routed to failed-data destinations, see process type P10) from
+``EngineError`` (a bug or misconfiguration).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# --------------------------------------------------------------------------- db
+
+
+class DatabaseError(ReproError):
+    """Base class for relational-engine errors."""
+
+
+class SchemaError(DatabaseError):
+    """A table/column definition is invalid or referenced but missing."""
+
+
+class IntegrityError(DatabaseError):
+    """A constraint (primary key, not-null, foreign key) was violated."""
+
+
+class QueryError(DatabaseError):
+    """A query referenced unknown tables/columns or was ill-typed."""
+
+
+class ProcedureError(DatabaseError):
+    """A stored procedure failed or does not exist."""
+
+
+# ------------------------------------------------------------------------- xml
+
+
+class XmlError(ReproError):
+    """Base class for XML-kit errors."""
+
+
+class XmlParseError(XmlError):
+    """The input text is not well-formed XML (for our subset)."""
+
+
+class XsdValidationError(XmlError):
+    """A document does not conform to its XSD schema.
+
+    Carries a list of human-readable violation messages in ``violations``.
+    """
+
+    def __init__(self, message: str, violations: list[str] | None = None):
+        super().__init__(message)
+        self.violations: list[str] = violations or []
+
+
+class StxError(XmlError):
+    """An STX stylesheet is invalid or failed during transformation."""
+
+
+class XPathError(XmlError):
+    """An XPath expression is outside the supported subset or ill-formed."""
+
+
+# -------------------------------------------------------------------- services
+
+
+class ServiceError(ReproError):
+    """Base class for the simulated network / web-service layer."""
+
+
+class EndpointNotFound(ServiceError):
+    """No endpoint is registered under the requested service name."""
+
+
+class OperationNotSupported(ServiceError):
+    """The endpoint exists but does not expose the requested operation."""
+
+
+class NetworkError(ServiceError):
+    """A simulated transport failure (used by failure-injection tests)."""
+
+
+# ------------------------------------------------------------------------- mtm
+
+
+class MtmError(ReproError):
+    """Base class for process-model errors."""
+
+
+class ProcessDefinitionError(MtmError):
+    """A process graph is statically invalid (dangling edges, bad config)."""
+
+
+class ProcessRuntimeError(MtmError):
+    """An operator failed while a process instance was executing."""
+
+
+class ValidationError(MtmError):
+    """A VALIDATE operator rejected a message.
+
+    This is an *expected* outcome for error-prone sources (San Diego, P10):
+    engines route the offending data to failed-data destinations instead of
+    aborting the process instance.
+    """
+
+    def __init__(self, message: str, violations: list[str] | None = None):
+        super().__init__(message)
+        self.violations: list[str] = violations or []
+
+
+# ---------------------------------------------------------------------- engine
+
+
+class EngineError(ReproError):
+    """Base class for integration-engine errors."""
+
+
+class DeploymentError(EngineError):
+    """A process type could not be deployed on the engine."""
+
+
+# ------------------------------------------------------------------- benchmark
+
+
+class BenchmarkError(ReproError):
+    """Base class for toolsuite errors (initializer / client / monitor)."""
+
+
+class VerificationError(BenchmarkError):
+    """Phase *post* found functionally incorrect integrated data."""
+
+
+class ScaleFactorError(BenchmarkError):
+    """A scale factor is outside its valid domain."""

@@ -1,0 +1,74 @@
+"""Cost normalization for concurrent process executions.
+
+Section V: "the effective processing time could not be used to determine
+the costs of one single process [because of] the parallelism of concurrent
+integration processes … the cost normalization must be realized."
+
+Given the wall-clock execution intervals of many instances, the
+normalization below splits time fairly: over every span where k instances
+run concurrently, each active instance is charged span/k.  The sum of all
+normalized costs equals total busy time, and for non-overlapping instances
+the normalized cost equals the plain elapsed time — two invariants the
+property-based tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class ActiveInterval:
+    """One instance's measured execution interval [start, end) in tu."""
+
+    instance_id: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise BenchmarkError(
+                f"interval of instance {self.instance_id} ends before it starts"
+            )
+
+    @property
+    def elapsed(self) -> float:
+        return self.end - self.start
+
+
+def normalize_intervals(intervals: list[ActiveInterval]) -> dict[int, float]:
+    """Fair-share normalized cost per instance id.
+
+    Sweeps the union of interval boundaries; each elementary span is
+    divided equally among the instances active during it.
+
+    >>> a = ActiveInterval(1, 0.0, 10.0)
+    >>> b = ActiveInterval(2, 0.0, 10.0)
+    >>> normalize_intervals([a, b])
+    {1: 5.0, 2: 5.0}
+    """
+    if not intervals:
+        return {}
+    seen: set[int] = set()
+    for interval in intervals:
+        if interval.instance_id in seen:
+            raise BenchmarkError(
+                f"duplicate instance id {interval.instance_id} in intervals"
+            )
+        seen.add(interval.instance_id)
+
+    boundaries = sorted({i.start for i in intervals} | {i.end for i in intervals})
+    normalized: dict[int, float] = {i.instance_id: 0.0 for i in intervals}
+    for left, right in zip(boundaries, boundaries[1:]):
+        span = right - left
+        if span <= 0:
+            continue
+        active = [i for i in intervals if i.start <= left and i.end >= right]
+        if not active:
+            continue
+        share = span / len(active)
+        for interval in active:
+            normalized[interval.instance_id] += share
+    return normalized

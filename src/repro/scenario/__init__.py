@@ -1,0 +1,25 @@
+"""The DIPBench scenario: topology, schemas, messages, processes P01–P15.
+
+This package is the *content* of the benchmark (Sections III–IV):
+
+* :mod:`repro.scenario.schemas` — every relational schema of Fig. 1–3:
+  the self-defined normalized Europe schema, the TPC-H America schema,
+  the snowflake consolidated database / data warehouse schema, and the
+  three data-mart variants with their different denormalizations,
+* :mod:`repro.scenario.xmlschemas` — the XML message schemas
+  (Vienna, San Diego, MDM_Europe, XSD_Beijing, XSD_Seoul, Hongkong) and
+  the STX stylesheets translating between them,
+* :mod:`repro.scenario.topology` — builds the whole system landscape of
+  Fig. 1 on the simulated network (databases, web services, registry),
+* :mod:`repro.scenario.procedures` — the stored procedures
+  (``sp_runMasterDataCleansing``, ``sp_runMovementDataCleansing``, the
+  materialized-view refreshes),
+* :mod:`repro.scenario.messages` — E1 message factories for the streams,
+* :mod:`repro.scenario.processes` — the 15 process types of Table I plus
+  the P14 subprocesses, as platform-independent MTM definitions.
+"""
+
+from repro.scenario.topology import Scenario, build_scenario
+from repro.scenario.processes import build_processes, PROCESS_TABLE
+
+__all__ = ["Scenario", "build_scenario", "build_processes", "PROCESS_TABLE"]

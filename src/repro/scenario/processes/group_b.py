@@ -1,0 +1,422 @@
+"""Group B — Data Consolidation (P04–P11).
+
+Everything flowing *into* the global consolidated database
+Sales_Cleaning: the message-driven feeds (Vienna P04, Hongkong P08,
+San Diego P10), the scheduled European extractions (P05–P07), the
+wrapped Asian extraction with UNION DISTINCT (P09) and the American
+two-phase hand-over (P11).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.db.expressions import col, lit
+from repro.mtm.blocks import Sequence, Switch, SwitchCase
+from repro.mtm.context import ExecutionContext
+from repro.mtm.message import Message
+from repro.mtm.operators import (
+    Assign,
+    Convert,
+    ExtractField,
+    Invoke,
+    Projection,
+    Receive,
+    Selection,
+    Signal,
+    Translation,
+    Union,
+    Validate,
+)
+from repro.mtm.process import EventType, ProcessGroup, ProcessType
+from repro.services.endpoints import Envelope
+from repro.scenario.processes import helpers
+from repro.scenario.schemas import ASIA_TYPES
+from repro.scenario.topology import EUROPE_TRONDHEIM_THRESHOLD
+from repro.scenario.xmlschemas import (
+    beijing_resultset_stylesheet,
+    hongkong_to_cdb_stylesheet,
+    sandiego_schema,
+    sandiego_to_cdb_stylesheet,
+    seoul_resultset_stylesheet,
+    vienna_to_cdb_stylesheet,
+)
+from repro.xmlkit.doc import serialize_xml
+
+_failed_message_keys = itertools.count(1)
+
+
+def _load_order_steps(prefix: str, message_var: str) -> list:
+    """Split a CdbOrder message into relations and load them into the CDB."""
+    order_value, lines_value = helpers.extract_cdb_order(
+        message_var, f"{prefix}_order", f"{prefix}_lines"
+    )
+    return [
+        Assign(f"{prefix}_order", order_value, name=f"{prefix}_split_order"),
+        Assign(f"{prefix}_lines", lines_value, name=f"{prefix}_split_lines"),
+        Invoke(
+            "sales_cleaning",
+            helpers.insert_request("orders", f"{prefix}_order", mode="upsert"),
+            name=f"{prefix}_load_order",
+        ),
+        Invoke(
+            "sales_cleaning",
+            helpers.insert_request("orderline", f"{prefix}_lines", mode="upsert"),
+            name=f"{prefix}_load_lines",
+        ),
+    ]
+
+
+# ------------------------------------------------------------------------ P04
+
+def build_p04() -> ProcessType:
+    """P04: receive Vienna messages, enrich with master data, load.
+
+    The inbound deep-structured ViennaOrder is translated to the
+    standardized CdbOrder shape; the referenced customer's master data is
+    extracted from the owning European source system (routed by Custkey)
+    and upserted into the CDB alongside the order — the "enrichment with
+    extracted master data".
+    """
+
+    def custkey(context: ExecutionContext) -> int:
+        return context.get("custkey").payload
+
+    def customer_query(service_table_location: str):
+        def build(context: ExecutionContext) -> Envelope:
+            key = context.get("custkey").payload
+            return Envelope.query_request(
+                "eu_customer", col("cust_id") == lit(key)
+            )
+
+        return build
+
+    return ProcessType(
+        "P04",
+        ProcessGroup.B,
+        "Receive messages from Vienna",
+        EventType.E1_MESSAGE,
+        Sequence(
+            [
+                Receive("msg1", expected_type="vienna_order"),
+                Translation("msg1", "msg2", vienna_to_cdb_stylesheet()),
+                ExtractField("msg2", "custkey", "//Custkey", convert=int),
+                Switch(
+                    [
+                        SwitchCase(
+                            lambda ctx: custkey(ctx) < EUROPE_TRONDHEIM_THRESHOLD,
+                            Invoke(
+                                "berlin_paris",
+                                customer_query("berlin_paris"),
+                                output="msg4",
+                                name="enrich_from_berlin_paris",
+                            ),
+                            label="berlin_paris",
+                        ),
+                    ],
+                    otherwise=Invoke(
+                        "trondheim",
+                        customer_query("trondheim"),
+                        output="msg4",
+                        name="enrich_from_trondheim",
+                    ),
+                    name="route_enrichment",
+                ),
+                Projection(
+                    "msg4", "msg5", helpers.EU_CUSTOMER_TO_CDB, name="map_customer"
+                ),
+                Invoke(
+                    "sales_cleaning",
+                    helpers.insert_request("customer", "msg5", mode="upsert"),
+                    name="load_customer",
+                ),
+                *_load_order_steps("p04", "msg2"),
+                Signal(),
+            ],
+            name="p04",
+        ),
+    )
+
+
+# ------------------------------------------------------------------- P05–P07
+
+def _build_europe_extraction(
+    process_id: str, description: str, service: str, location: str | None
+) -> ProcessType:
+    """P05/P06/P07: extract one European location and load it into the CDB.
+
+    Deliberately suboptimal, as specified: the full tables are extracted
+    and the location filter runs as a Selection *inside* the process
+    (P05/P06); the optimizer ablation pushes it into the source query.
+    """
+    tables = [
+        ("eu_customer", helpers.EU_CUSTOMER_TO_CDB, "customer", "upsert"),
+        ("eu_product", helpers.EU_PRODUCT_TO_CDB, "product", "upsert"),
+        ("eu_order", helpers.EU_ORDER_TO_CDB, "orders", "upsert"),
+        ("eu_orderpos", helpers.EU_ORDERPOS_TO_CDB, "orderline", "upsert"),
+    ]
+    steps = []
+    for source_table, mapping, target_table, mode in tables:
+        raw = f"{source_table}_raw"
+        filtered = f"{source_table}_filtered"
+        mapped = f"{source_table}_mapped"
+        steps.append(
+            Invoke(
+                service,
+                helpers.query_request(source_table),
+                output=raw,
+                name=f"extract_{source_table}",
+            )
+        )
+        if location is not None:
+            steps.append(
+                Selection(
+                    raw,
+                    filtered,
+                    col("location") == lit(location),
+                    name=f"filter_{source_table}",
+                )
+            )
+        else:
+            filtered = raw
+        steps.append(
+            Projection(filtered, mapped, mapping, name=f"map_{source_table}")
+        )
+        steps.append(
+            Invoke(
+                "sales_cleaning",
+                helpers.insert_request(target_table, mapped, mode=mode),
+                name=f"load_{target_table}",
+            )
+        )
+    steps.append(Signal())
+    return ProcessType(
+        process_id,
+        ProcessGroup.B,
+        description,
+        EventType.E2_SCHEDULE,
+        Sequence(steps, name=process_id.lower()),
+    )
+
+
+def build_p05() -> ProcessType:
+    return _build_europe_extraction(
+        "P05", "Extract data from Berlin", "berlin_paris", "Berlin"
+    )
+
+
+def build_p06() -> ProcessType:
+    return _build_europe_extraction(
+        "P06", "Extract data from Paris", "berlin_paris", "Paris"
+    )
+
+
+def build_p07() -> ProcessType:
+    return _build_europe_extraction(
+        "P07", "Extract data from Trondheim", "trondheim", None
+    )
+
+
+# ------------------------------------------------------------------------ P08
+
+def build_p08() -> ProcessType:
+    """P08: receive Hongkong messages, translate, load into the CDB."""
+    return ProcessType(
+        "P08",
+        ProcessGroup.B,
+        "Receive messages from Hongkong",
+        EventType.E1_MESSAGE,
+        Sequence(
+            [
+                Receive("msg1", expected_type="hongkong_order"),
+                Translation("msg1", "msg2", hongkong_to_cdb_stylesheet()),
+                *_load_order_steps("p08", "msg2"),
+                Signal(),
+            ],
+            name="p08",
+        ),
+    )
+
+
+# ------------------------------------------------------------------------ P09
+
+_P09_TABLES: list[tuple[str, tuple[str, ...]]] = [
+    ("customer", ("custkey",)),
+    ("product", ("prodkey",)),
+    ("orders", ("orderkey",)),
+    ("orderline", ("orderkey", "linenumber")),
+]
+
+
+def build_p09() -> ProcessType:
+    """P09: extract wrapped data from Beijing and Seoul.
+
+    Large XML result sets are extracted from both web services; each
+    service's dialect is translated to the canonical result-set shape by
+    its own STX stylesheet ("two different STX style sheets"); a keyed
+    UNION DISTINCT merges the overlapping populations; the result is
+    loaded into the CDB.
+    """
+    stylesheets = {
+        "beijing": beijing_resultset_stylesheet(),
+        "seoul": seoul_resultset_stylesheet(),
+    }
+    steps = []
+    for table, keys in _P09_TABLES:
+        merged_inputs = []
+        for service in ("beijing", "seoul"):
+            raw = f"{table}_{service}_raw"
+            canonical = f"{table}_{service}_canonical"
+            relation_var = f"{table}_{service}"
+            steps.append(
+                Invoke(
+                    service,
+                    helpers.ws_query_request(table),
+                    output=raw,
+                    work_kind="xml",
+                    name=f"extract_{table}_{service}",
+                )
+            )
+            steps.append(
+                Translation(
+                    raw, canonical, stylesheets[service],
+                    name=f"translate_{table}_{service}",
+                )
+            )
+            steps.append(
+                Convert(
+                    canonical,
+                    relation_var,
+                    "xml_to_relation",
+                    columns=list(ASIA_TYPES[table]),
+                    types=ASIA_TYPES[table],
+                    name=f"convert_{table}_{service}",
+                )
+            )
+            merged_inputs.append(relation_var)
+        merged = f"{table}_merged"
+        steps.append(
+            Union(merged_inputs, merged, distinct_key=keys, name=f"union_{table}")
+        )
+        if table == "customer":
+            mapped = f"{table}_mapped"
+            steps.append(
+                Projection(
+                    merged, mapped, helpers.ASIA_CUSTOMER_TO_CDB,
+                    name="map_customer",
+                )
+            )
+            merged = mapped
+        steps.append(
+            Invoke(
+                "sales_cleaning",
+                helpers.insert_request(table, merged, mode="upsert"),
+                name=f"load_{table}",
+            )
+        )
+    steps.append(Signal())
+    return ProcessType(
+        "P09",
+        ProcessGroup.B,
+        "Extract wrapped data from Beijing and Seoul",
+        EventType.E2_SCHEDULE,
+        Sequence(steps, name="p09"),
+    )
+
+
+# ------------------------------------------------------------------------ P10
+
+def build_p10() -> ProcessType:
+    """P10: receive error-prone messages from San Diego.
+
+    Messages are validated first; failures are inserted into the CDB's
+    failed-data destination and the instance ends.  Valid messages are
+    translated to the CDB schema and loaded.
+    """
+
+    def failed_insert_request(context: ExecutionContext) -> Envelope:
+        document = context.get("msg1").xml()
+        reasons = (
+            "; ".join(context.validation_failures[-1][:3])
+            if context.validation_failures
+            else "unknown"
+        )
+        row = {
+            "failkey": next(_failed_message_keys),
+            "source": "san_diego",
+            "reason": reasons[:200],
+            "msg": serialize_xml(document),
+        }
+        return Envelope.update_request("failed_messages", [row])
+
+    return ProcessType(
+        "P10",
+        ProcessGroup.B,
+        "Receive error-prone messages from San Diego",
+        EventType.E1_MESSAGE,
+        Sequence(
+            [
+                Receive("msg1", expected_type="sandiego_order"),
+                Validate(
+                    "msg1",
+                    sandiego_schema(),
+                    on_fail=Invoke(
+                        "sales_cleaning",
+                        failed_insert_request,
+                        work_kind="xml",
+                        name="store_failed_message",
+                    ),
+                    name="validate_sandiego",
+                ),
+                Translation("msg1", "msg2", sandiego_to_cdb_stylesheet()),
+                *_load_order_steps("p10", "msg2"),
+                Signal(),
+            ],
+            name="p10",
+        ),
+    )
+
+
+# ------------------------------------------------------------------------ P11
+
+_P11_TABLES = [
+    ("customer", helpers.TPCH_CUSTOMER_TO_CDB, "customer", "upsert"),
+    ("part", helpers.TPCH_PART_TO_CDB, "product", "upsert"),
+    ("orders", helpers.TPCH_ORDERS_TO_CDB, "orders", "upsert"),
+    ("lineitem", helpers.TPCH_LINEITEM_TO_CDB, "orderline", "upsert"),
+]
+
+
+def build_p11() -> ProcessType:
+    """P11: extract all US_Eastcoast data and load it into the global CDB,
+    with "several projections … realizing a simple schema mapping"."""
+    steps = []
+    for source_table, mapping, target_table, mode in _P11_TABLES:
+        raw = f"{source_table}_raw"
+        mapped = f"{source_table}_mapped"
+        steps.append(
+            Invoke(
+                "us_eastcoast",
+                helpers.query_request(source_table),
+                output=raw,
+                name=f"extract_{source_table}",
+            )
+        )
+        steps.append(
+            Projection(raw, mapped, mapping, name=f"map_{source_table}")
+        )
+        steps.append(
+            Invoke(
+                "sales_cleaning",
+                helpers.insert_request(target_table, mapped, mode=mode),
+                name=f"load_{target_table}",
+            )
+        )
+    steps.append(Signal())
+    return ProcessType(
+        "P11",
+        ProcessGroup.B,
+        "Extract data from CDB America",
+        EventType.E2_SCHEDULE,
+        Sequence(steps, name="p11"),
+    )

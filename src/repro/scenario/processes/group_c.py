@@ -1,0 +1,190 @@
+"""Group C — Data Warehouse Update (P12, P13): the data-intensive loads."""
+
+from __future__ import annotations
+
+from repro.db.expressions import UnaryOp, col, lit
+from repro.mtm.blocks import Sequence
+from repro.mtm.operators import Invoke, Projection, Signal, ValidateRows
+from repro.mtm.process import EventType, ProcessGroup, ProcessType
+from repro.scenario.processes import helpers
+
+#: Dimension tables copied verbatim from the staging area to the DWH so
+#: the warehouse's snowflake stays referentially complete.
+_DIMENSION_TABLES = ("region", "nation", "city", "productline", "productgroup")
+
+
+def build_p12() -> ProcessType:
+    """P12: bulk-loading data warehouse master data.
+
+    Invokes ``sp_runMasterDataCleansing``, extracts the clean master data
+    from the CDB, validates it, loads it into the DWH, and finally flags
+    the CDB master data as integrated (not physically removed).
+    """
+    steps = [
+        Invoke(
+            "sales_cleaning",
+            helpers.execute_request("sp_runMasterDataCleansing"),
+            name="run_master_cleansing",
+        ),
+    ]
+    for table in _DIMENSION_TABLES:
+        raw = f"{table}_raw"
+        steps.append(
+            Invoke(
+                "sales_cleaning",
+                helpers.query_request(table),
+                output=raw,
+                name=f"extract_{table}",
+            )
+        )
+        steps.append(
+            Invoke(
+                "dwh",
+                helpers.insert_request(table, raw, mode="upsert"),
+                name=f"load_{table}",
+            )
+        )
+    steps.extend(
+        [
+            # Customers: only the not-yet-integrated delta.
+            Invoke(
+                "sales_cleaning",
+                helpers.query_request(
+                    "customer", col("integrated") == lit(False)
+                ),
+                output="customer_raw",
+                name="extract_customer_delta",
+            ),
+            ValidateRows(
+                "customer_raw",
+                {
+                    "custkey_positive": col("custkey") > lit(0),
+                    "name_present": UnaryOp("IS NOT NULL", col("name")),
+                    "citykey_present": UnaryOp("IS NOT NULL", col("citykey")),
+                },
+                name="validate_customer",
+            ),
+            Projection(
+                "customer_raw",
+                "customer_clean",
+                {
+                    "custkey": "custkey",
+                    "name": "name",
+                    "address": "address",
+                    "phone": "phone",
+                    "citykey": "citykey",
+                    "segment": "segment",
+                },
+                name="drop_staging_flag",
+            ),
+            Invoke(
+                "dwh",
+                helpers.insert_request("customer", "customer_clean", mode="upsert"),
+                name="load_customer",
+            ),
+            # Products: full upsert (no staging flag on products).
+            Invoke(
+                "sales_cleaning",
+                helpers.query_request("product"),
+                output="product_raw",
+                name="extract_product",
+            ),
+            ValidateRows(
+                "product_raw",
+                {"price_positive": col("price") > lit(0)},
+                name="validate_product",
+            ),
+            Invoke(
+                "dwh",
+                helpers.insert_request("product", "product_raw", mode="upsert"),
+                name="load_product",
+            ),
+            # Flag instead of delete (Section IV.C).
+            Invoke(
+                "sales_cleaning",
+                helpers.execute_request("sp_markMasterDataIntegrated"),
+                name="mark_integrated",
+            ),
+            Signal(),
+        ]
+    )
+    return ProcessType(
+        "P12",
+        ProcessGroup.C,
+        "Bulk-loading data warehouse master data",
+        EventType.E2_SCHEDULE,
+        Sequence(steps, name="p12"),
+    )
+
+
+def build_p13() -> ProcessType:
+    """P13: bulk-loading data warehouse movement data.
+
+    Mirrors P12 for movement data ("the differences in data set sizes
+    should be noticed"), then two final invocations: refresh OrdersMV and
+    remove the loaded movement data from the CDB.
+    """
+    return ProcessType(
+        "P13",
+        ProcessGroup.C,
+        "Bulk-loading data warehouse movement data",
+        EventType.E2_SCHEDULE,
+        Sequence(
+            [
+                Invoke(
+                    "sales_cleaning",
+                    helpers.execute_request("sp_runMovementDataCleansing"),
+                    name="run_movement_cleansing",
+                ),
+                Invoke(
+                    "sales_cleaning",
+                    helpers.query_request("orders"),
+                    output="orders_raw",
+                    name="extract_orders",
+                ),
+                ValidateRows(
+                    "orders_raw",
+                    {
+                        "orderkey_positive": col("orderkey") > lit(0),
+                        "custkey_positive": col("custkey") > lit(0),
+                    },
+                    name="validate_orders",
+                ),
+                Invoke(
+                    "dwh",
+                    helpers.insert_request("orders", "orders_raw", mode="upsert"),
+                    name="load_orders",
+                ),
+                Invoke(
+                    "sales_cleaning",
+                    helpers.query_request("orderline"),
+                    output="orderline_raw",
+                    name="extract_orderline",
+                ),
+                ValidateRows(
+                    "orderline_raw",
+                    {"quantity_positive": col("quantity") > lit(0)},
+                    name="validate_orderline",
+                ),
+                Invoke(
+                    "dwh",
+                    helpers.insert_request(
+                        "orderline", "orderline_raw", mode="upsert"
+                    ),
+                    name="load_orderline",
+                ),
+                Invoke(
+                    "dwh",
+                    helpers.execute_request("sp_refreshOrdersMV"),
+                    name="refresh_orders_mv",
+                ),
+                Invoke(
+                    "sales_cleaning",
+                    helpers.execute_request("sp_clearMovementData"),
+                    name="clear_movement_data",
+                ),
+                Signal(),
+            ],
+            name="p13",
+        ),
+    )

@@ -1,0 +1,383 @@
+"""Group D — Data Mart Update (P14 with its subprocesses, P15).
+
+P14 is the scenario's showcase of intra-process parallelism: a main
+process invokes subprocess P14_S1 (load everything from the DWH and
+return it), then three concurrent threads each run a selection and invoke
+a mart-specific subprocess realizing the DWH→DM schema mapping and load.
+P15 refreshes the marts' materialized views, again in parallel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.db.expressions import col, lit
+from repro.mtm.blocks import Fork, Sequence, Subprocess
+from repro.mtm.context import ExecutionContext
+from repro.mtm.message import Message
+from repro.mtm.operators import Assign, Invoke, Join, Projection, Selection, Signal
+from repro.mtm.process import EventType, ProcessGroup, ProcessType
+from repro.scenario.processes import helpers
+
+#: (mart subprocess id, service name, region filter, product denorm?, location denorm?)
+_MARTS = [
+    ("P14_S2", "dm_europe", "Europe", True, True),
+    ("P14_S3", "dm_united_states", "America", False, True),
+    ("P14_S4", "dm_asia", "Asia", True, False),
+]
+
+
+
+def _unpack(bundle_var: str, key: str) -> Callable[[ExecutionContext], Message]:
+    """Assign-callable pulling one relation out of a bundle message."""
+
+    def value(context: ExecutionContext) -> Message:
+        return Message(context.get(bundle_var).payload[key])
+
+    return value
+
+
+def build_p14_s1() -> ProcessType:
+    """P14_S1: load all master and movement data from the DWH, return it."""
+    extracts = []
+    for table in (
+        "customer",
+        "city",
+        "nation",
+        "region",
+        "product",
+        "productgroup",
+        "productline",
+        "orders",
+        "orderline",
+    ):
+        extracts.append(
+            Invoke(
+                "dwh",
+                helpers.query_request(table),
+                output=f"{table}_raw",
+                name=f"extract_{table}",
+            )
+        )
+
+    def bundle(context: ExecutionContext) -> Message:
+        return Message(
+            {
+                "customer_denorm": context.get("customer_denorm").relation(),
+                "orders": context.get("orders_raw").relation(),
+                "orderline": context.get("orderline_raw").relation(),
+                "product": context.get("product_raw").relation(),
+                "productgroup": context.get("productgroup_raw").relation(),
+                "productline": context.get("productline_raw").relation(),
+                "product_denorm": context.get("product_denorm").relation(),
+                "region": context.get("region_raw").relation(),
+                "nation": context.get("nation_raw").relation(),
+                "city": context.get("city_raw").relation(),
+                "location_denorm": context.get("location_denorm").relation(),
+            },
+            "dwh_bundle",
+        )
+
+    return ProcessType(
+        "P14_S1",
+        ProcessGroup.D,
+        "Load all master and movement data from the DWH",
+        EventType.E2_SCHEDULE,
+        Sequence(
+            [
+                *extracts,
+                # Prefix the geography names so joins stay collision-free.
+                Projection(
+                    "city_raw",
+                    "city_p",
+                    {"citykey": "citykey", "city_name": "name", "nationkey": "nationkey"},
+                    name="prefix_city",
+                ),
+                Projection(
+                    "nation_raw",
+                    "nation_p",
+                    {"nationkey": "nationkey", "nation_name": "name", "regionkey": "regionkey"},
+                    name="prefix_nation",
+                ),
+                Projection(
+                    "region_raw",
+                    "region_p",
+                    {"regionkey": "regionkey", "region_name": "name"},
+                    name="prefix_region",
+                ),
+                Join("city_p", "nation_p", "city_nation", on=[("nationkey", "nationkey")]),
+                Join(
+                    "city_nation",
+                    "region_p",
+                    "location_all",
+                    on=[("regionkey", "regionkey")],
+                ),
+                Projection(
+                    "location_all",
+                    "location_denorm",
+                    {
+                        "citykey": "citykey",
+                        "city_name": "city_name",
+                        "nation_name": "nation_name",
+                        "region_name": "region_name",
+                    },
+                    name="shape_location_denorm",
+                ),
+                Join(
+                    "customer_raw",
+                    "location_denorm",
+                    "customer_denorm",
+                    on=[("citykey", "citykey")],
+                ),
+                # Denormalize the product dimension the same way.
+                Projection(
+                    "productgroup_raw",
+                    "group_p",
+                    {"groupkey": "groupkey", "group_name": "name", "linekey": "linekey"},
+                    name="prefix_group",
+                ),
+                Projection(
+                    "productline_raw",
+                    "line_p",
+                    {"linekey": "linekey", "line_name": "name"},
+                    name="prefix_line",
+                ),
+                Join("product_raw", "group_p", "product_g", on=[("groupkey", "groupkey")]),
+                Join("product_g", "line_p", "product_gl", on=[("linekey", "linekey")]),
+                Projection(
+                    "product_gl",
+                    "product_denorm",
+                    {
+                        "prodkey": "prodkey",
+                        "name": "name",
+                        "brand": "brand",
+                        "price": "price",
+                        "group_name": "group_name",
+                        "line_name": "line_name",
+                    },
+                    name="shape_product_denorm",
+                ),
+                Assign("__out", bundle, name="return_bundle"),
+            ],
+            name="p14_s1",
+        ),
+        subprocess_only=True,
+    )
+
+
+def build_mart_subprocess(
+    process_id: str,
+    service: str,
+    region: str,
+    denorm_product: bool,
+    denorm_location: bool,
+) -> ProcessType:
+    """P14_S2/S3/S4: DWH→DM schema mapping and load for one data mart."""
+    steps = [
+        Assign("bundle", lambda ctx: ctx.get("__in"), name="bind_input"),
+        Assign("customers", _unpack("bundle", "customer_denorm")),
+        Assign("orders_all", _unpack("bundle", "orders")),
+        Assign("orderline_all", _unpack("bundle", "orderline")),
+        # Movement data of this mart: orders of the mart's customers.
+        Join(
+            "orders_all",
+            "customers",
+            "orders_joined",
+            on=[("custkey", "custkey")],
+            name="orders_of_region",
+        ),
+        Projection(
+            "orders_joined",
+            "orders_mart",
+            {name: name for name in helpers.ORDER_COLUMNS},
+            name="shape_orders",
+        ),
+        Join(
+            "orderline_all",
+            "orders_mart",
+            "lines_joined",
+            on=[("orderkey", "orderkey")],
+            name="lines_of_region",
+        ),
+        Projection(
+            "lines_joined",
+            "lines_mart",
+            {name: name for name in helpers.ORDERLINE_COLUMNS},
+            name="shape_lines",
+        ),
+        Projection(
+            "customers",
+            "customers_mart",
+            {
+                "custkey": "custkey",
+                "name": "name",
+                "citykey": "citykey",
+                "segment": "segment",
+            },
+            name="shape_customers",
+        ),
+        Invoke(
+            service,
+            helpers.insert_request("customer", "customers_mart", mode="upsert"),
+            name="load_customer",
+        ),
+    ]
+    if denorm_product:
+        steps.append(Assign("dim_product", _unpack("bundle", "product_denorm")))
+        steps.append(
+            Invoke(
+                service,
+                helpers.insert_request("dim_product", "dim_product", mode="upsert"),
+                name="load_dim_product",
+            )
+        )
+    else:
+        for table in ("product", "productgroup", "productline"):
+            steps.append(Assign(f"norm_{table}", _unpack("bundle", table)))
+            steps.append(
+                Invoke(
+                    service,
+                    helpers.insert_request(table, f"norm_{table}", mode="upsert"),
+                    name=f"load_{table}",
+                )
+            )
+    if denorm_location:
+        steps.append(Assign("loc_all", _unpack("bundle", "location_denorm")))
+        steps.append(
+            Selection(
+                "loc_all",
+                "dim_location",
+                col("region_name") == lit(region),
+                name="partition_location",
+            )
+        )
+        steps.append(
+            Invoke(
+                service,
+                helpers.insert_request("dim_location", "dim_location", mode="upsert"),
+                name="load_dim_location",
+            )
+        )
+    else:
+        for table in ("region", "nation", "city"):
+            steps.append(Assign(f"norm_{table}", _unpack("bundle", table)))
+            steps.append(
+                Invoke(
+                    service,
+                    helpers.insert_request(table, f"norm_{table}", mode="upsert"),
+                    name=f"load_{table}",
+                )
+            )
+    steps.extend(
+        [
+            Invoke(
+                service,
+                helpers.insert_request("orders", "orders_mart", mode="upsert"),
+                name="load_orders",
+            ),
+            Invoke(
+                service,
+                helpers.insert_request("orderline", "lines_mart", mode="upsert"),
+                name="load_orderline",
+            ),
+            Signal(),
+        ]
+    )
+    return ProcessType(
+        process_id,
+        ProcessGroup.D,
+        f"Schema mapping and load for data mart {service}",
+        EventType.E2_SCHEDULE,
+        Sequence(steps, name=process_id.lower()),
+        subprocess_only=True,
+    )
+
+
+def build_p14() -> ProcessType:
+    """P14: refresh all data marts (Fig. 1's P14 with four subprocesses)."""
+
+    branches = []
+    for process_id, service, region, _, __ in _MARTS:
+        mart = service.removeprefix("dm_")
+        cust_var = f"cust_{mart}"
+        filtered_var = f"cust_{mart}_f"
+        bundle_var = f"bundle_{mart}"
+
+        def make_bundle(filtered: str) -> Callable[[ExecutionContext], Message]:
+            def value(context: ExecutionContext) -> Message:
+                base = dict(context.get("dwhdata").payload)
+                base["customer_denorm"] = context.get(filtered).relation()
+                return Message(base, "dm_bundle")
+
+            return value
+
+        branches.append(
+            Sequence(
+                [
+                    Assign(cust_var, _unpack("dwhdata", "customer_denorm")),
+                    Selection(
+                        cust_var,
+                        filtered_var,
+                        col("region_name") == lit(region),
+                        name=f"select_{mart}",
+                    ),
+                    Assign(bundle_var, make_bundle(filtered_var)),
+                    Subprocess(process_id, input=bundle_var),
+                ],
+                name=f"thread_{mart}",
+            )
+        )
+
+    return ProcessType(
+        "P14",
+        ProcessGroup.D,
+        "Refreshing data mart data",
+        EventType.E2_SCHEDULE,
+        Sequence(
+            [
+                Subprocess("P14_S1", output="dwhdata", name="load_dwh_bundle"),
+                Fork(branches, name="mart_threads"),
+                Signal(),
+            ],
+            name="p14",
+        ),
+    )
+
+
+def build_p14_subprocesses() -> list[ProcessType]:
+    subs = [build_p14_s1()]
+    for process_id, service, region, denorm_product, denorm_location in _MARTS:
+        subs.append(
+            build_mart_subprocess(
+                process_id, service, region, denorm_product, denorm_location
+            )
+        )
+    return subs
+
+
+def build_p15() -> ProcessType:
+    """P15: refresh the marts' materialized views — no dependencies
+    between the physical marts, so the three refreshes run in parallel."""
+    return ProcessType(
+        "P15",
+        ProcessGroup.D,
+        "Refreshing data mart materialized views",
+        EventType.E2_SCHEDULE,
+        Sequence(
+            [
+                Fork(
+                    [
+                        Invoke(
+                            service,
+                            helpers.execute_request("sp_refreshViews"),
+                            name=f"refresh_{service}",
+                        )
+                        for _, service, _, _, _ in _MARTS
+                    ],
+                    name="parallel_refresh",
+                ),
+                Signal(),
+            ],
+            name="p15",
+        ),
+    )

@@ -1,0 +1,455 @@
+"""Every relational schema of the benchmark scenario (Figs. 1–3).
+
+Four schema families live here:
+
+* ``europe_*``  — the self-defined, normalized region-Europe schema
+  (Fig. 2) used by Berlin/Paris (one shared database with a ``location``
+  discriminator) and Trondheim,
+* ``tpch_*``    — region America "follows exactly the normalized TPC-H
+  schema" for Chicago, Baltimore, Madison and the local consolidated
+  database US_Eastcoast,
+* ``asia_*``    — the canonical-shaped tables the Asian web services hide
+  behind their generic result-set XSDs,
+* ``snowflake_*`` — the consolidated database (staging area) and data
+  warehouse snowflake schema of Fig. 3, and the three data-mart variants
+  with their per-mart denormalizations.
+
+The canonical column vocabulary (custkey, orderkey, prodkey …) is the
+target the integration processes map *into*; the source schemas use
+deliberately different names so the projections of P05–P07/P11 have real
+work to do.
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import Column, ForeignKey, TableSchema
+
+# --------------------------------------------------------------------- Europe
+
+def europe_tables() -> list[TableSchema]:
+    """Fig. 2: normalized, self-defined names (cust_*, ord_*, pos_*)."""
+    return [
+        TableSchema(
+            "eu_customer",
+            [
+                Column("cust_id", "BIGINT", nullable=False),
+                Column("cust_name", "VARCHAR", length=40),
+                Column("cust_address", "VARCHAR", length=60),
+                Column("cust_phone", "VARCHAR", length=20),
+                Column("cust_city", "INTEGER"),
+                Column("cust_segment", "VARCHAR", length=12),
+                Column("location", "VARCHAR", nullable=False, length=16),
+            ],
+            primary_key=("cust_id",),
+        ),
+        TableSchema(
+            "eu_product",
+            [
+                Column("prod_id", "BIGINT", nullable=False),
+                Column("prod_name", "VARCHAR", length=60),
+                Column("prod_brand", "VARCHAR", length=12),
+                Column("prod_price", "DECIMAL"),
+                Column("prod_group", "INTEGER"),
+                Column("location", "VARCHAR", nullable=False, length=16),
+            ],
+            primary_key=("prod_id",),
+        ),
+        TableSchema(
+            "eu_order",
+            [
+                Column("ord_id", "BIGINT", nullable=False),
+                Column("ord_customer", "BIGINT", nullable=False),
+                Column("ord_date", "DATE"),
+                Column("ord_state", "CHAR", length=1),
+                Column("ord_priority", "VARCHAR", length=16),
+                Column("ord_total", "DECIMAL"),
+                Column("location", "VARCHAR", nullable=False, length=16),
+            ],
+            primary_key=("ord_id",),
+            foreign_keys=[ForeignKey(("ord_customer",), "eu_customer", ("cust_id",))],
+        ),
+        TableSchema(
+            "eu_orderpos",
+            [
+                Column("ord_id", "BIGINT", nullable=False),
+                Column("pos_nr", "INTEGER", nullable=False),
+                Column("pos_product", "BIGINT", nullable=False),
+                Column("pos_quantity", "INTEGER"),
+                Column("pos_price", "DECIMAL"),
+                Column("pos_discount", "DECIMAL"),
+                Column("location", "VARCHAR", nullable=False, length=16),
+            ],
+            primary_key=("ord_id", "pos_nr"),
+            foreign_keys=[ForeignKey(("ord_id",), "eu_order", ("ord_id",))],
+        ),
+    ]
+
+
+# -------------------------------------------------------------------- America
+
+def tpch_tables() -> list[TableSchema]:
+    """Region America: the normalized TPC-H subset the processes touch."""
+    return [
+        TableSchema(
+            "customer",
+            [
+                Column("c_custkey", "BIGINT", nullable=False),
+                Column("c_name", "VARCHAR", length=25),
+                Column("c_address", "VARCHAR", length=40),
+                Column("c_phone", "CHAR", length=15),
+                Column("c_citykey", "INTEGER"),
+                Column("c_mktsegment", "CHAR", length=10),
+                Column("c_acctbal", "DECIMAL"),
+            ],
+            primary_key=("c_custkey",),
+        ),
+        TableSchema(
+            "part",
+            [
+                Column("p_partkey", "BIGINT", nullable=False),
+                Column("p_name", "VARCHAR", length=55),
+                Column("p_brand", "CHAR", length=10),
+                Column("p_retailprice", "DECIMAL"),
+                Column("p_groupkey", "INTEGER"),
+            ],
+            primary_key=("p_partkey",),
+        ),
+        TableSchema(
+            "orders",
+            [
+                Column("o_orderkey", "BIGINT", nullable=False),
+                Column("o_custkey", "BIGINT", nullable=False),
+                Column("o_orderdate", "DATE"),
+                Column("o_orderstatus", "CHAR", length=1),
+                Column("o_orderpriority", "CHAR", length=15),
+                Column("o_totalprice", "DECIMAL"),
+            ],
+            primary_key=("o_orderkey",),
+        ),
+        TableSchema(
+            "lineitem",
+            [
+                Column("l_orderkey", "BIGINT", nullable=False),
+                Column("l_linenumber", "INTEGER", nullable=False),
+                Column("l_partkey", "BIGINT", nullable=False),
+                Column("l_quantity", "INTEGER"),
+                Column("l_extendedprice", "DECIMAL"),
+                Column("l_discount", "DECIMAL"),
+            ],
+            primary_key=("l_orderkey", "l_linenumber"),
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------- Asia
+
+def asia_tables() -> list[TableSchema]:
+    """Asian web-service data sources: canonical names, flat tables."""
+    return [
+        TableSchema(
+            "customer",
+            [
+                Column("custkey", "BIGINT", nullable=False),
+                Column("name", "VARCHAR", length=40),
+                Column("address", "VARCHAR", length=60),
+                Column("phone", "VARCHAR", length=20),
+                Column("citykey", "INTEGER"),
+                Column("segment", "VARCHAR", length=12),
+            ],
+            primary_key=("custkey",),
+        ),
+        TableSchema(
+            "product",
+            [
+                Column("prodkey", "BIGINT", nullable=False),
+                Column("name", "VARCHAR", length=60),
+                Column("brand", "VARCHAR", length=12),
+                Column("price", "DECIMAL"),
+                Column("groupkey", "INTEGER"),
+            ],
+            primary_key=("prodkey",),
+        ),
+        TableSchema(
+            "orders",
+            [
+                Column("orderkey", "BIGINT", nullable=False),
+                Column("custkey", "BIGINT", nullable=False),
+                Column("orderdate", "DATE"),
+                Column("status", "CHAR", length=1),
+                Column("priority", "VARCHAR", length=16),
+                Column("totalprice", "DECIMAL"),
+            ],
+            primary_key=("orderkey",),
+        ),
+        TableSchema(
+            "orderline",
+            [
+                Column("orderkey", "BIGINT", nullable=False),
+                Column("linenumber", "INTEGER", nullable=False),
+                Column("prodkey", "BIGINT", nullable=False),
+                Column("quantity", "INTEGER"),
+                Column("extendedprice", "DECIMAL"),
+                Column("discount", "DECIMAL"),
+            ],
+            primary_key=("orderkey", "linenumber"),
+        ),
+    ]
+
+
+# ---------------------------------------------------- CDB / DWH snowflake (Fig. 3)
+
+def _snowflake_dimension_tables() -> list[TableSchema]:
+    return [
+        TableSchema(
+            "region",
+            [
+                Column("regionkey", "INTEGER", nullable=False),
+                Column("name", "VARCHAR", length=25),
+            ],
+            primary_key=("regionkey",),
+        ),
+        TableSchema(
+            "nation",
+            [
+                Column("nationkey", "INTEGER", nullable=False),
+                Column("name", "VARCHAR", length=25),
+                Column("regionkey", "INTEGER", nullable=False),
+            ],
+            primary_key=("nationkey",),
+            foreign_keys=[ForeignKey(("regionkey",), "region", ("regionkey",))],
+        ),
+        TableSchema(
+            "city",
+            [
+                Column("citykey", "INTEGER", nullable=False),
+                Column("name", "VARCHAR", length=25),
+                Column("nationkey", "INTEGER", nullable=False),
+            ],
+            primary_key=("citykey",),
+            foreign_keys=[ForeignKey(("nationkey",), "nation", ("nationkey",))],
+        ),
+        TableSchema(
+            "productline",
+            [
+                Column("linekey", "INTEGER", nullable=False),
+                Column("name", "VARCHAR", length=25),
+            ],
+            primary_key=("linekey",),
+        ),
+        TableSchema(
+            "productgroup",
+            [
+                Column("groupkey", "INTEGER", nullable=False),
+                Column("name", "VARCHAR", length=40),
+                Column("linekey", "INTEGER", nullable=False),
+            ],
+            primary_key=("groupkey",),
+            foreign_keys=[ForeignKey(("linekey",), "productline", ("linekey",))],
+        ),
+        TableSchema(
+            "product",
+            [
+                Column("prodkey", "BIGINT", nullable=False),
+                Column("name", "VARCHAR", length=60),
+                Column("brand", "VARCHAR", length=12),
+                Column("price", "DECIMAL"),
+                Column("groupkey", "INTEGER", nullable=False),
+            ],
+            primary_key=("prodkey",),
+            foreign_keys=[ForeignKey(("groupkey",), "productgroup", ("groupkey",))],
+        ),
+    ]
+
+
+def _movement_tables(with_customer_fk: bool = True) -> list[TableSchema]:
+    orders_fks = []
+    if with_customer_fk:
+        orders_fks.append(ForeignKey(("custkey",), "customer", ("custkey",)))
+    return [
+        TableSchema(
+            "orders",
+            [
+                Column("orderkey", "BIGINT", nullable=False),
+                Column("custkey", "BIGINT", nullable=False),
+                Column("orderdate", "DATE"),
+                Column("status", "CHAR", length=1),
+                Column("priority", "VARCHAR", length=16),
+                Column("totalprice", "DECIMAL"),
+            ],
+            primary_key=("orderkey",),
+            foreign_keys=orders_fks,
+        ),
+        TableSchema(
+            "orderline",
+            [
+                Column("orderkey", "BIGINT", nullable=False),
+                Column("linenumber", "INTEGER", nullable=False),
+                Column("prodkey", "BIGINT", nullable=False),
+                Column("quantity", "INTEGER"),
+                Column("extendedprice", "DECIMAL"),
+                Column("discount", "DECIMAL"),
+            ],
+            primary_key=("orderkey", "linenumber"),
+            foreign_keys=[ForeignKey(("orderkey",), "orders", ("orderkey",))],
+        ),
+    ]
+
+
+def cdb_tables() -> list[TableSchema]:
+    """The consolidated database (staging area).
+
+    Same snowflake as the DWH but with staging extras: an ``integrated``
+    flag on master data (P12 flags instead of deleting) and the
+    failed-data destination of P10.
+    """
+    customer = TableSchema(
+        "customer",
+        [
+            Column("custkey", "BIGINT", nullable=False),
+            Column("name", "VARCHAR", length=40),
+            Column("address", "VARCHAR", length=60),
+            Column("phone", "VARCHAR", length=20),
+            Column("citykey", "INTEGER"),
+            Column("segment", "VARCHAR", length=12),
+            Column("integrated", "BOOLEAN"),
+        ],
+        primary_key=("custkey",),
+    )
+    failed = TableSchema(
+        "failed_messages",
+        [
+            Column("failkey", "BIGINT", nullable=False),
+            Column("source", "VARCHAR", length=20),
+            Column("reason", "VARCHAR", length=200),
+            Column("msg", "CLOB"),
+        ],
+        primary_key=("failkey",),
+    )
+    return _snowflake_dimension_tables() + [customer] + _movement_tables(
+        with_customer_fk=False  # staging data may arrive child-first
+    ) + [failed]
+
+
+def dwh_tables() -> list[TableSchema]:
+    """The data warehouse snowflake of Fig. 3 (clean data only)."""
+    customer = TableSchema(
+        "customer",
+        [
+            Column("custkey", "BIGINT", nullable=False),
+            Column("name", "VARCHAR", length=40),
+            Column("address", "VARCHAR", length=60),
+            Column("phone", "VARCHAR", length=20),
+            Column("citykey", "INTEGER", nullable=False),
+            Column("segment", "VARCHAR", length=12),
+        ],
+        primary_key=("custkey",),
+        foreign_keys=[ForeignKey(("citykey",), "city", ("citykey",))],
+    )
+    return _snowflake_dimension_tables() + [customer] + _movement_tables()
+
+
+# ------------------------------------------------------------------ data marts
+
+def _denormalized_product() -> TableSchema:
+    return TableSchema(
+        "dim_product",
+        [
+            Column("prodkey", "BIGINT", nullable=False),
+            Column("name", "VARCHAR", length=60),
+            Column("brand", "VARCHAR", length=12),
+            Column("price", "DECIMAL"),
+            Column("group_name", "VARCHAR", length=40),
+            Column("line_name", "VARCHAR", length=25),
+        ],
+        primary_key=("prodkey",),
+    )
+
+
+def _denormalized_location() -> TableSchema:
+    return TableSchema(
+        "dim_location",
+        [
+            Column("citykey", "INTEGER", nullable=False),
+            Column("city_name", "VARCHAR", length=25),
+            Column("nation_name", "VARCHAR", length=25),
+            Column("region_name", "VARCHAR", length=25),
+        ],
+        primary_key=("citykey",),
+    )
+
+
+def _normalized_product() -> list[TableSchema]:
+    return [t for t in _snowflake_dimension_tables()
+            if t.name in ("productline", "productgroup", "product")]
+
+
+def _normalized_location() -> list[TableSchema]:
+    return [t for t in _snowflake_dimension_tables()
+            if t.name in ("region", "nation", "city")]
+
+
+def _mart_customer() -> TableSchema:
+    return TableSchema(
+        "customer",
+        [
+            Column("custkey", "BIGINT", nullable=False),
+            Column("name", "VARCHAR", length=40),
+            Column("citykey", "INTEGER", nullable=False),
+            Column("segment", "VARCHAR", length=12),
+        ],
+        primary_key=("custkey",),
+    )
+
+
+def datamart_tables(mart: str) -> list[TableSchema]:
+    """Data-mart schema variants (Section III.B):
+
+    * ``europe`` — product *and* location dimensions denormalized,
+    * ``asia`` — only the product dimension denormalized,
+    * ``united_states`` — only the location dimension denormalized.
+    """
+    if mart == "europe":
+        dimensions = [_denormalized_product(), _denormalized_location()]
+    elif mart == "asia":
+        dimensions = [_denormalized_product()] + _normalized_location()
+    elif mart == "united_states":
+        dimensions = _normalized_product() + [_denormalized_location()]
+    else:
+        raise ValueError(f"unknown data mart {mart!r}")
+    return dimensions + [_mart_customer()] + _movement_tables()
+
+
+#: Canonical result-set column types for the Asian web services.
+ASIA_TYPES: dict[str, dict[str, str]] = {
+    "customer": {
+        "custkey": "BIGINT",
+        "name": "VARCHAR",
+        "address": "VARCHAR",
+        "phone": "VARCHAR",
+        "citykey": "INTEGER",
+        "segment": "VARCHAR",
+    },
+    "product": {
+        "prodkey": "BIGINT",
+        "name": "VARCHAR",
+        "brand": "VARCHAR",
+        "price": "DECIMAL",
+        "groupkey": "INTEGER",
+    },
+    "orders": {
+        "orderkey": "BIGINT",
+        "custkey": "BIGINT",
+        "orderdate": "DATE",
+        "status": "VARCHAR",
+        "priority": "VARCHAR",
+        "totalprice": "DECIMAL",
+    },
+    "orderline": {
+        "orderkey": "BIGINT",
+        "linenumber": "INTEGER",
+        "prodkey": "BIGINT",
+        "quantity": "INTEGER",
+        "extendedprice": "DECIMAL",
+        "discount": "DECIMAL",
+    },
+}

@@ -1,0 +1,38 @@
+"""Simulated network and external-system layer.
+
+The paper runs the benchmark across three physical machines — external
+systems (ES), the integration system under test (IS) and the toolsuite
+client (CS) — connected by a wireless network.  We substitute a
+deterministic latency/bandwidth model (:class:`Network`) between named
+hosts, and service endpoints that wrap the substrate databases:
+
+* :class:`DatabaseService` — a plain RDBMS endpoint (Berlin, Paris,
+  Trondheim, Chicago, Baltimore, Madison, the CDBs, the DWH, the marts),
+* :class:`WebService` — an XML result-set endpoint hiding a data source
+  (Beijing, Seoul, Hongkong), per the region-Asia "generic approach",
+* :class:`ServiceRegistry` — name → endpoint lookup used by the INVOKE
+  operator.
+
+Every call through the registry reports its communication cost (in tu) to
+the caller, which is how the engines account the C_c cost category.
+"""
+
+from repro.services.network import Link, Network
+from repro.services.endpoints import (
+    DatabaseService,
+    Envelope,
+    ServiceEndpoint,
+    WebService,
+)
+from repro.services.registry import ServiceCall, ServiceRegistry
+
+__all__ = [
+    "Network",
+    "Link",
+    "ServiceEndpoint",
+    "DatabaseService",
+    "WebService",
+    "Envelope",
+    "ServiceRegistry",
+    "ServiceCall",
+]

@@ -1,0 +1,124 @@
+"""Deterministic network model between named hosts.
+
+Communication cost of one transfer is::
+
+    latency + payload_units / bandwidth   [tu]
+
+where ``payload_units`` is a size measure chosen by the caller (rows for
+relational transfers, element count for XML messages).  An optional seeded
+jitter models the variance of the paper's wireless links; with jitter off,
+runs are bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import NetworkError
+
+
+@dataclass(frozen=True)
+class Link:
+    """Directed link parameters between two hosts."""
+
+    latency: float  # fixed cost per transfer, in tu
+    bandwidth: float  # payload units per tu
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise NetworkError(f"negative latency: {self.latency}")
+        if self.bandwidth <= 0:
+            raise NetworkError(f"bandwidth must be positive: {self.bandwidth}")
+
+
+class Network:
+    """Host topology with per-pair links and an optional jitter model.
+
+    >>> net = Network(default_link=Link(latency=2.0, bandwidth=100.0))
+    >>> net.add_host("ES"); net.add_host("IS")
+    >>> round(net.transfer_cost("IS", "ES", payload_units=50), 2)
+    2.5
+    """
+
+    def __init__(
+        self,
+        default_link: Link = Link(latency=1.0, bandwidth=200.0),
+        jitter: float = 0.0,
+        seed: int = 0,
+    ):
+        if not 0.0 <= jitter < 1.0:
+            raise NetworkError(f"jitter must be in [0, 1): {jitter}")
+        self.default_link = default_link
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._hosts: set[str] = set()
+        self._links: dict[tuple[str, str], Link] = {}
+        self._partitioned: set[tuple[str, str]] = set()
+        #: Total transfers and payload units moved (benchmark statistics).
+        self.transfer_count = 0
+        self.payload_units_total = 0.0
+
+    def add_host(self, name: str) -> None:
+        if not name:
+            raise NetworkError("host needs a name")
+        self._hosts.add(name)
+
+    def has_host(self, name: str) -> bool:
+        return name in self._hosts
+
+    @property
+    def hosts(self) -> list[str]:
+        return sorted(self._hosts)
+
+    def set_link(self, src: str, dst: str, link: Link, symmetric: bool = True) -> None:
+        """Override the link parameters for a host pair."""
+        self._require(src)
+        self._require(dst)
+        self._links[(src, dst)] = link
+        if symmetric:
+            self._links[(dst, src)] = link
+
+    def partition(self, src: str, dst: str, symmetric: bool = True) -> None:
+        """Cut the connection (failure injection)."""
+        self._require(src)
+        self._require(dst)
+        self._partitioned.add((src, dst))
+        if symmetric:
+            self._partitioned.add((dst, src))
+
+    def heal(self, src: str, dst: str, symmetric: bool = True) -> None:
+        """Undo :meth:`partition`."""
+        self._partitioned.discard((src, dst))
+        if symmetric:
+            self._partitioned.discard((dst, src))
+
+    def _require(self, host: str) -> None:
+        if host not in self._hosts:
+            raise NetworkError(f"unknown host {host!r}; known: {self.hosts}")
+
+    def link_between(self, src: str, dst: str) -> Link:
+        return self._links.get((src, dst), self.default_link)
+
+    def transfer_cost(self, src: str, dst: str, payload_units: float) -> float:
+        """Cost in tu of moving ``payload_units`` from ``src`` to ``dst``.
+
+        Same-host transfers are free.  Raises :class:`NetworkError` when
+        the pair is partitioned.
+        """
+        self._require(src)
+        self._require(dst)
+        if payload_units < 0:
+            raise NetworkError(f"negative payload: {payload_units}")
+        if (src, dst) in self._partitioned:
+            raise NetworkError(f"network partition between {src} and {dst}")
+        self.transfer_count += 1
+        self.payload_units_total += payload_units
+        if src == dst:
+            return 0.0
+        link = self.link_between(src, dst)
+        cost = link.latency + payload_units / link.bandwidth
+        if self.jitter:
+            # Multiplicative jitter in [1 - j, 1 + j].
+            cost *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return cost

@@ -1,0 +1,76 @@
+"""Service registry: name → endpoint routing with cost accounting.
+
+The registry is the single place where an integration engine touches an
+external system.  Every call returns both the response and the
+communication cost (request + response transfers through the network
+model), which the engine books under the C_c cost category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EndpointNotFound
+from repro.services.endpoints import Envelope, ServiceEndpoint
+from repro.services.network import Network
+
+
+@dataclass(frozen=True)
+class ServiceCall:
+    """Outcome of one routed call: response plus communication cost."""
+
+    service: str
+    operation: str
+    response: Envelope
+    communication_cost: float
+
+
+class ServiceRegistry:
+    """Routes envelopes to registered endpoints through a network model.
+
+    >>> from repro.db import Database
+    >>> from repro.services import DatabaseService, Network
+    >>> net = Network(); net.add_host("ES"); net.add_host("IS")
+    >>> registry = ServiceRegistry(net)
+    >>> registry.register(DatabaseService("berlin", "ES", Database("berlin")))
+    """
+
+    def __init__(self, network: Network):
+        self.network = network
+        self._endpoints: dict[str, ServiceEndpoint] = {}
+        self.calls_made = 0
+
+    def register(self, endpoint: ServiceEndpoint) -> ServiceEndpoint:
+        if not self.network.has_host(endpoint.host):
+            self.network.add_host(endpoint.host)
+        self._endpoints[endpoint.name] = endpoint
+        return endpoint
+
+    def lookup(self, name: str) -> ServiceEndpoint:
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise EndpointNotFound(
+                f"no service {name!r}; registered: {sorted(self._endpoints)}"
+            ) from None
+
+    @property
+    def service_names(self) -> list[str]:
+        return sorted(self._endpoints)
+
+    def call(
+        self, caller_host: str, service: str, request: Envelope
+    ) -> ServiceCall:
+        """Route ``request`` to ``service`` and charge both transfer legs."""
+        endpoint = self.lookup(service)
+        outbound = self.network.transfer_cost(
+            caller_host, endpoint.host, request.payload_units
+        )
+        response = endpoint.handle(request)
+        inbound = self.network.transfer_cost(
+            endpoint.host, caller_host, response.payload_units
+        )
+        self.calls_made += 1
+        # C_c = network delay plus external processing costs (Section V).
+        total = outbound + inbound + response.external_cost
+        return ServiceCall(service, request.operation, response, total)

@@ -1,0 +1,84 @@
+"""Discrete-event scheduler used by the benchmark client.
+
+The client (Section V) turns the scheduling series of Table II into a
+serialized sequence of process-initiating events per stream.  This module
+provides the generic event queue: events carry a deadline in tu, a stable
+sequence number for FIFO tie-breaking, and an arbitrary payload.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.simtime.clock import Clock, VirtualClock
+
+
+@dataclass(order=True, frozen=True)
+class ScheduledEvent:
+    """An event in the queue, ordered by (deadline, sequence number)."""
+
+    deadline: float
+    seqno: int
+    payload: Any = field(compare=False)
+
+
+class EventScheduler:
+    """A discrete-event queue bound to a :class:`Clock`.
+
+    Events may be pushed in any order; :meth:`run` pops them in deadline
+    order, advances the clock to each deadline, and invokes the handler.
+    Handlers may push further events (e.g. a process that re-schedules
+    itself), which is why draining re-examines the heap after every call.
+    """
+
+    def __init__(self, clock: Clock | None = None):
+        self.clock = clock if clock is not None else VirtualClock()
+        self._heap: list[ScheduledEvent] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, deadline: float, payload: Any) -> ScheduledEvent:
+        """Schedule ``payload`` for ``deadline`` (absolute, in tu)."""
+        if deadline < 0:
+            raise ValueError(f"deadline must be >= 0, got {deadline}")
+        event = ScheduledEvent(deadline, next(self._counter), payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def push_after(self, delay: float, payload: Any) -> ScheduledEvent:
+        """Schedule ``payload`` ``delay`` tu from the current clock time."""
+        return self.push(self.clock.now() + delay, payload)
+
+    def peek(self) -> ScheduledEvent | None:
+        """Return the next event without removing it, or None if empty."""
+        return self._heap[0] if self._heap else None
+
+    def pop(self) -> ScheduledEvent:
+        """Remove and return the next event, advancing the clock to it."""
+        if not self._heap:
+            raise IndexError("pop from an empty event scheduler")
+        event = heapq.heappop(self._heap)
+        self.clock.advance_to(event.deadline)
+        return event
+
+    def drain(self) -> Iterator[ScheduledEvent]:
+        """Yield all events in deadline order, advancing the clock."""
+        while self._heap:
+            yield self.pop()
+
+    def run(self, handler: Callable[[ScheduledEvent], None]) -> int:
+        """Drain the queue through ``handler``; return the number handled."""
+        handled = 0
+        for event in self.drain():
+            handler(event)
+            handled += 1
+        return handled
+
+    def clear(self) -> None:
+        """Drop all pending events (used between benchmark periods)."""
+        self._heap.clear()

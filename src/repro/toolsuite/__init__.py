@@ -1,0 +1,37 @@
+"""The DIPBench toolsuite: Initializer, Client, Monitor (Section V).
+
+The toolsuite minimizes "the time and effort needed for benchmarking a
+special integration system":
+
+* :class:`Initializer` — creates the external systems' schemas and
+  generates the synthetic source data sets per benchmark period,
+* :class:`BenchmarkClient` — owns the execution schedule: the phases
+  *pre*/*work*/*post* (Fig. 6), the per-period stream choreography
+  (Fig. 7), the scheduling series of Table II and the scale factors,
+* :class:`Monitor` — stores instance records, computes the NAVG+ metric
+  per process type and renders the performance plots of Figs. 10/11,
+* :mod:`repro.toolsuite.verification` — the phase-*post* functional
+  correctness checks on the integrated data.
+"""
+
+from repro.toolsuite.initializer import Initializer
+from repro.toolsuite.schedule import ScaleFactors, StreamSchedule, build_schedule
+from repro.toolsuite.client import BenchmarkClient, BenchmarkResult
+from repro.toolsuite.monitor import Monitor
+from repro.toolsuite.verification import verify_period, VerificationReport
+from repro.toolsuite.quality import LayerQuality, QualityReport, measure_quality
+
+__all__ = [
+    "Initializer",
+    "ScaleFactors",
+    "StreamSchedule",
+    "build_schedule",
+    "BenchmarkClient",
+    "BenchmarkResult",
+    "Monitor",
+    "verify_period",
+    "VerificationReport",
+    "LayerQuality",
+    "QualityReport",
+    "measure_quality",
+]

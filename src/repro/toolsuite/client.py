@@ -1,0 +1,243 @@
+"""The benchmark Client: phases, periods, streams (Figs. 6 and 7).
+
+The client owns the autonomic benchmark execution:
+
+* **phase pre** — build/verify the landscape, deploy all process types;
+* **phase work** — the measured part: ``periods`` benchmark periods, each
+  uninitializing all external systems, re-initializing the sources, then
+  driving the four streams: A and B concurrently (their E1 events merged
+  into one deadline-ordered queue), the dependent E2 extractions resolved
+  from actual completions, then stream C, then stream D — "the streams C
+  and D are serialized in order to ensure the correct results";
+* **phase post** — functional verification of the integrated data plus
+  metric computation.
+
+Scale-factor handling: deadlines are generated in tu and converted to
+engine time units with ``1 tu = 1/t``, so raising t compresses arrivals
+against constant processing costs; the Monitor converts measured costs
+back into tu.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.base import InstanceRecord, IntegrationEngine, ProcessEvent
+from repro.errors import BenchmarkError
+from repro.metrics.navg import MetricReport
+from repro.mtm.message import Message
+from repro.scenario.messages import MessageFactory, Population
+from repro.scenario.topology import Scenario
+from repro.simtime.clock import VirtualClock
+from repro.simtime.scheduler import EventScheduler
+from repro.toolsuite.initializer import Initializer
+from repro.toolsuite.monitor import Monitor
+from repro.toolsuite.schedule import ScaleFactors, build_schedule
+from repro.toolsuite.verification import VerificationReport, verify_period
+
+#: Stream membership of the scheduled process types.
+_STREAM_OF = {
+    "P01": "A", "P02": "A", "P03": "A",
+    "P04": "B", "P05": "B", "P06": "B", "P07": "B",
+    "P08": "B", "P09": "B", "P10": "B", "P11": "B",
+    "P12": "C", "P13": "C",
+    "P14": "D", "P15": "D",
+}
+
+
+@dataclass
+class BenchmarkResult:
+    """Everything a benchmark run produced."""
+
+    factors: ScaleFactors
+    periods: int
+    records: list[InstanceRecord]
+    metrics: MetricReport
+    verification: VerificationReport
+    engine_name: str
+
+    @property
+    def total_instances(self) -> int:
+        return len(self.records)
+
+    @property
+    def error_instances(self) -> int:
+        return sum(1 for r in self.records if r.status != "ok")
+
+
+class BenchmarkClient:
+    """Drives one engine through the DIPBench schedule."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        engine: IntegrationEngine,
+        factors: ScaleFactors | None = None,
+        periods: int = 100,
+        seed: int = 42,
+        sandiego_error_rate: float = 0.15,
+    ):
+        if periods < 1 or periods > 100:
+            raise BenchmarkError(f"periods must be in [1, 100]: {periods}")
+        self.scenario = scenario
+        self.engine = engine
+        self.factors = factors or ScaleFactors()
+        self.periods = periods
+        self.seed = seed
+        self.sandiego_error_rate = sandiego_error_rate
+        self.initializer = Initializer(
+            scenario,
+            d=self.factors.datasize,
+            f=self.factors.distribution,
+            seed=seed,
+        )
+        self.monitor = Monitor(time_scale=self.factors.time)
+        self._last_factory: MessageFactory | None = None
+        self._last_population: Population | None = None
+
+    # -- phase work ---------------------------------------------------------------
+
+    def run(self, verify: bool = True) -> BenchmarkResult:
+        """Execute phases pre/work/post and return the result."""
+        self._phase_pre()
+        for period in range(self.periods):
+            self.run_period(period)
+        verification = self._phase_post(verify)
+        metrics = self.monitor.metrics()
+        return BenchmarkResult(
+            factors=self.factors,
+            periods=self.periods,
+            records=list(self.monitor.records),
+            metrics=metrics,
+            verification=verification,
+            engine_name=self.engine.engine_name,
+        )
+
+    def _phase_pre(self) -> None:
+        """Deploy the benchmark processes if the engine lacks them."""
+        if not self.engine.deployed_ids:
+            from repro.scenario.processes import build_processes
+
+            self.engine.deploy_all(build_processes().values())
+
+    def _phase_post(self, verify: bool) -> VerificationReport:
+        if not verify:
+            return VerificationReport(checks=[], failures=[])
+        if self._last_factory is None:
+            raise BenchmarkError("phase post before any period ran")
+        return verify_period(
+            self.scenario, self.engine, self._last_factory
+        )
+
+    # -- one period (Fig. 7) ----------------------------------------------------------
+
+    def run_period(self, period: int) -> list[InstanceRecord]:
+        """Uninitialize, initialize, run streams A∥B → C → D."""
+        self._phase_pre()  # idempotent: deploys only when nothing is deployed
+        self.initializer.uninitialize_all()
+        population = self.initializer.initialize_sources(period)
+        factory = MessageFactory(
+            population,
+            seed=self.seed + 7919 * period,
+            error_rate=self.sandiego_error_rate,
+        )
+        self._last_factory = factory
+        self._last_population = population
+        self.engine.reset_workers()
+        records_before = len(self.engine.records)
+
+        completions = self._run_message_streams(period, factory)
+        self._run_dependent_streams(period, completions)
+
+        new_records = self.engine.records[records_before:]
+        self.monitor.absorb(new_records)
+        return new_records
+
+    def _run_message_streams(
+        self, period: int, factory: MessageFactory
+    ) -> dict[str, float]:
+        """Streams A and B: merged E1 events in deadline order."""
+        schedule = build_schedule(period, self.factors)
+        scheduler = EventScheduler(VirtualClock())
+
+        builders = {
+            "P01": lambda: factory.beijing_master_data(),
+            "P02": factory.mdm_customer_update,
+            "P04": factory.vienna_order,
+            "P08": factory.hongkong_order,
+            "P10": factory.sandiego_order,
+        }
+        for process_id in ("P01", "P02", "P04", "P08", "P10"):
+            for deadline_tu in schedule.series(process_id):
+                scheduler.push(
+                    self.factors.tu_to_engine(deadline_tu), process_id
+                )
+
+        completions: dict[str, float] = {}
+        for event in scheduler.drain():
+            process_id = event.payload
+            message = builders[process_id]()
+            record = self.engine.handle_event(
+                ProcessEvent(
+                    process_id,
+                    deadline=event.deadline,
+                    message=message,
+                    period=period,
+                    stream=_STREAM_OF[process_id],
+                )
+            )
+            completions[process_id] = max(
+                completions.get(process_id, 0.0), record.completion
+            )
+        return completions
+
+    def _run_dependent_streams(
+        self, period: int, completions: dict[str, float]
+    ) -> None:
+        """The T1-dependent E2 chain plus streams C and D."""
+
+        def run_at(process_id: str, deadline: float) -> InstanceRecord:
+            record = self.engine.handle_event(
+                ProcessEvent(
+                    process_id,
+                    deadline=deadline,
+                    message=None,
+                    period=period,
+                    stream=_STREAM_OF[process_id],
+                )
+            )
+            completions[process_id] = record.completion
+            return record
+
+        # Stream A tail: P03 after the last P01 and P02 instances.
+        t_p03 = max(completions.get("P01", 0.0), completions.get("P02", 0.0))
+        run_at("P03", t_p03)
+
+        # Stream B tail: the serialized European extraction chain and the
+        # Asian/American consolidations.
+        run_at("P05", completions.get("P04", 0.0))
+        run_at("P06", completions["P05"])
+        run_at("P07", completions["P06"])
+        run_at("P09", completions.get("P08", 0.0))
+        # P11 at T1(StreamB): after every other stream-B process.
+        t_p11 = max(
+            completions.get(pid, 0.0)
+            for pid in ("P04", "P05", "P06", "P07", "P08", "P09", "P10")
+        )
+        run_at("P11", t_p11)
+
+        # Stream C starts when A and B have fully completed.
+        t_c = max(
+            completions.get(pid, 0.0)
+            for pid in ("P01", "P02", "P03", "P04", "P05", "P06",
+                        "P07", "P08", "P09", "P10", "P11")
+        )
+        record_p12 = run_at("P12", t_c)
+        # Table II: P13 = T0(StreamC) + 10 tu; serialized behind P12 for
+        # correct results (movement cleansing needs clean master data).
+        t_p13 = max(t_c + self.factors.tu_to_engine(10.0), record_p12.completion)
+        record_p13 = run_at("P13", t_p13)
+
+        # Stream D after C; P15 after P14.
+        record_p14 = run_at("P14", record_p13.completion)
+        run_at("P15", record_p14.completion)

@@ -1,0 +1,114 @@
+"""The Monitor: statistics store, metric computation, performance plots.
+
+"The collected statistics and performance metrics are handled and stored
+by the Monitor. In addition … it also provides plotting functions for the
+generation of performance diagrams."  Costs are stored in engine units
+and reported in tu (``tu = units * t``), matching the paper's plots
+("NAVG+ [in tu]").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.engine.base import InstanceRecord
+from repro.metrics.navg import MetricReport, compute_metrics
+from repro.toolsuite.plotting import performance_plot_ascii, performance_plot_svg
+
+
+class Monitor:
+    """Collects instance records and produces reports and plots."""
+
+    def __init__(self, time_scale: float = 1.0):
+        self.time_scale = time_scale
+        self.records: list[InstanceRecord] = []
+
+    def absorb(self, records: Iterable[InstanceRecord]) -> None:
+        self.records.extend(records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    # -- metrics --------------------------------------------------------------
+
+    def metrics(self) -> MetricReport:
+        """Per-process-type NAVG+ metrics, reported in tu."""
+        report = compute_metrics(self.records)
+        if self.time_scale == 1.0:
+            return report
+        scaled = MetricReport()
+        for process_id, m in report.per_type.items():
+            scaled.per_type[process_id] = type(m)(
+                process_id=m.process_id,
+                instance_count=m.instance_count,
+                navg=m.navg * self.time_scale,
+                sigma=m.sigma * self.time_scale,
+                navg_plus=m.navg_plus * self.time_scale,
+                communication_mean=m.communication_mean * self.time_scale,
+                management_mean=m.management_mean * self.time_scale,
+                processing_mean=m.processing_mean * self.time_scale,
+                error_count=m.error_count,
+            )
+        return scaled
+
+    def metrics_for_period(self, period: int) -> MetricReport:
+        subset = [r for r in self.records if r.period == period]
+        return compute_metrics(subset)
+
+    def period_series(self, process_id: str) -> list[tuple[int, int, float]]:
+        """Per-period (period, instance count, NAVG in tu) for one type.
+
+        The measured counterpart of Fig. 8's schedule-side series: e.g.
+        P01's instance count decreasing over the benchmark periods.
+        """
+        by_period: dict[int, list] = {}
+        for record in self.records:
+            if record.process_id == process_id and record.status == "ok":
+                by_period.setdefault(record.period, []).append(record)
+        series = []
+        for period in sorted(by_period):
+            records = by_period[period]
+            navg = sum(r.normalized_cost for r in records) / len(records)
+            series.append((period, len(records), navg * self.time_scale))
+        return series
+
+    # -- plots ------------------------------------------------------------------
+
+    def performance_plot(
+        self, title: str = "DIPBench Performance Plot", width: int = 72
+    ) -> str:
+        """ASCII rendering of the Fig. 10/11 bar plot (NAVG vs NAVG+)."""
+        return performance_plot_ascii(self.metrics(), title=title, width=width)
+
+    def performance_plot_svg(
+        self, title: str = "DIPBench Performance Plot"
+    ) -> str:
+        """Standalone SVG rendering of the same plot."""
+        return performance_plot_svg(self.metrics(), title=title)
+
+    def save_plot(self, path: str, title: str = "DIPBench Performance Plot") -> None:
+        """Write the SVG plot to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.performance_plot_svg(title))
+
+    def export_dat(self) -> str:
+        """Gnuplot-style whitespace-separated data of the metric series.
+
+        Columns: process id, instance count, NAVG, sigma, NAVG+, mean
+        C_c, mean C_m, mean C_p — the raw material of the paper's
+        performance diagrams, consumable by external plotting tools.
+        """
+        lines = ["# process n navg sigma navg_plus c_c c_m c_p"]
+        for m in self.metrics().rows():
+            lines.append(
+                f"{m.process_id} {m.instance_count} {m.navg:.4f} "
+                f"{m.sigma:.4f} {m.navg_plus:.4f} "
+                f"{m.communication_mean:.4f} {m.management_mean:.4f} "
+                f"{m.processing_mean:.4f}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def save_dat(self, path: str) -> None:
+        """Write :meth:`export_dat` to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.export_dat())

@@ -1,0 +1,224 @@
+"""Data-quality metrics across the integration layers (future work).
+
+The paper closes with: "we want to enhance the benchmark by integrating
+quality and semantic issues".  Section III also characterizes the layers:
+"During this staging process, the data quality increases and the accuracy
+decreases" — staging consolidates and cleans (quality ↑) while the data
+grows staler relative to the sources (accuracy/freshness ↓).
+
+This module implements that extension: a per-layer quality report over
+the scenario's four logical layers, with the classic dimensions
+
+* **conformance** — share of master-data rows whose content passes the
+  cleansing rules (the ``Customer#<digits>`` pattern),
+* **uniqueness** — 1 − duplicate share over the (address, phone)
+  business key,
+* **referential integrity** — share of movement rows whose foreign
+  references resolve,
+* **coverage** — share of distinct source-side customers that reached
+  the layer (how much of the world the layer sees).
+
+The composite *quality index* is the mean of the four dimensions; the
+phase-post extension asserts it is non-decreasing across
+sources → staging → warehouse.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.scenario.topology import Scenario
+
+_NAME_RE = re.compile(r"^Customer#\d+$")
+
+
+@dataclass(frozen=True)
+class LayerQuality:
+    """Quality dimensions of one logical layer, all in [0, 1]."""
+
+    layer: str
+    conformance: float
+    uniqueness: float
+    referential_integrity: float
+    coverage: float
+
+    @property
+    def quality_index(self) -> float:
+        return (
+            self.conformance
+            + self.uniqueness
+            + self.referential_integrity
+            + self.coverage
+        ) / 4.0
+
+    def as_row(self) -> str:
+        return (
+            f"{self.layer:<12}{self.conformance:>12.3f}{self.uniqueness:>12.3f}"
+            f"{self.referential_integrity:>8.3f}{self.coverage:>10.3f}"
+            f"{self.quality_index:>9.3f}"
+        )
+
+
+def _customer_rows(scenario: Scenario, layer: str) -> list[dict]:
+    """Customers of a layer, lifted to (key, name, address, phone)."""
+    rows: list[dict] = []
+    if layer == "sources":
+        for db_name in ("berlin_paris", "trondheim"):
+            for row in scenario.databases[db_name].table("eu_customer").scan():
+                rows.append(
+                    {"key": row["cust_id"], "name": row["cust_name"],
+                     "address": row["cust_address"], "phone": row["cust_phone"]}
+                )
+        for db_name in ("chicago", "baltimore", "madison"):
+            for row in scenario.databases[db_name].table("customer").scan():
+                rows.append(
+                    {"key": row["c_custkey"], "name": row["c_name"],
+                     "address": row["c_address"], "phone": row["c_phone"]}
+                )
+        for ws in ("beijing", "seoul"):
+            for row in scenario.web_service_databases[ws].table("customer").scan():
+                rows.append(
+                    {"key": row["custkey"], "name": row["name"],
+                     "address": row["address"], "phone": row["phone"]}
+                )
+        return rows
+    if layer == "staging":
+        db = scenario.databases["sales_cleaning"]
+    elif layer == "warehouse":
+        db = scenario.databases["dwh"]
+    else:
+        raise ValueError(f"unknown layer {layer!r}")
+    for row in db.table("customer").scan():
+        rows.append(
+            {"key": row["custkey"], "name": row["name"],
+             "address": row["address"], "phone": row["phone"]}
+        )
+    return rows
+
+
+def _movement_integrity(db: Database) -> float:
+    """Share of orders/orderlines whose references resolve inside ``db``."""
+    customers = {r["custkey"] for r in db.table("customer").scan()}
+    orders = db.table("orders").scan()
+    lines = db.table("orderline").scan()
+    total = len(orders) + len(lines)
+    if total == 0:
+        return 1.0
+    order_keys = {o["orderkey"] for o in orders}
+    good = sum(1 for o in orders if o["custkey"] in customers)
+    good += sum(1 for l in lines if l["orderkey"] in order_keys)
+    return good / total
+
+
+def _movement_integrity_sources(scenario: Scenario) -> float:
+    """Weighted source-side movement integrity (per physical system)."""
+    weights = 0
+    acc = 0.0
+    for db_name in ("berlin_paris", "trondheim"):
+        db = scenario.databases[db_name]
+        customers = {r["cust_id"] for r in db.table("eu_customer").scan()}
+        orders = db.table("eu_order").scan()
+        if orders:
+            good = sum(1 for o in orders if o["ord_customer"] in customers)
+            acc += good
+            weights += len(orders)
+    for db_name in ("chicago", "baltimore", "madison"):
+        db = scenario.databases[db_name]
+        customers = {r["c_custkey"] for r in db.table("customer").scan()}
+        orders = db.table("orders").scan()
+        if orders:
+            acc += sum(1 for o in orders if o["o_custkey"] in customers)
+            weights += len(orders)
+    return acc / weights if weights else 1.0
+
+
+def measure_layer(scenario: Scenario, layer: str,
+                  source_population: int | None = None) -> LayerQuality:
+    """Compute the quality dimensions of one layer.
+
+    ``source_population`` (the distinct clean source customer count) is
+    the denominator of coverage; when omitted it is derived from the
+    current source-system contents.
+    """
+    rows = _customer_rows(scenario, layer)
+    if source_population is None:
+        source_population = len(
+            {r["key"] for r in _customer_rows(scenario, "sources")}
+        ) or 1
+
+    if not rows:
+        return LayerQuality(layer, 1.0, 1.0, 1.0, 0.0)
+
+    conforming = sum(
+        1 for r in rows if r["name"] and _NAME_RE.match(r["name"])
+    )
+    business_keys = [(r["address"], r["phone"]) for r in rows]
+    unique = len(set(business_keys))
+
+    if layer == "sources":
+        integrity = _movement_integrity_sources(scenario)
+    elif layer == "staging":
+        integrity = _movement_integrity(scenario.databases["sales_cleaning"])
+    else:
+        integrity = _movement_integrity(scenario.databases["dwh"])
+
+    coverage = min(1.0, len({r["key"] for r in rows}) / source_population)
+    return LayerQuality(
+        layer=layer,
+        conformance=conforming / len(rows),
+        uniqueness=unique / len(business_keys),
+        referential_integrity=integrity,
+        coverage=coverage,
+    )
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Quality of the three comparable layers after a benchmark period."""
+
+    sources: LayerQuality
+    staging: LayerQuality
+    warehouse: LayerQuality
+
+    @property
+    def monotone_quality(self) -> bool:
+        """Section III's claim: quality increases along the pipeline.
+
+        Compared on the *cleanliness* dimensions (conformance,
+        uniqueness, referential integrity) — coverage legitimately
+        dips in staging when P13 clears the movement delta.
+        """
+
+        def cleanliness(q: LayerQuality) -> float:
+            return (q.conformance + q.uniqueness
+                    + q.referential_integrity) / 3.0
+
+        return (
+            cleanliness(self.sources)
+            <= cleanliness(self.staging) + 1e-9
+            and cleanliness(self.staging)
+            <= cleanliness(self.warehouse) + 1e-9
+        )
+
+    def as_table(self) -> str:
+        header = (
+            f"{'layer':<12}{'conformance':>12}{'uniqueness':>12}"
+            f"{'ref.int':>8}{'coverage':>10}{'index':>9}"
+        )
+        return "\n".join(
+            [header, "-" * len(header),
+             self.sources.as_row(), self.staging.as_row(),
+             self.warehouse.as_row()]
+        )
+
+
+def measure_quality(scenario: Scenario) -> QualityReport:
+    """Quality report over sources → staging → warehouse."""
+    population = len({r["key"] for r in _customer_rows(scenario, "sources")}) or 1
+    return QualityReport(
+        sources=measure_layer(scenario, "sources", population),
+        staging=measure_layer(scenario, "staging", population),
+        warehouse=measure_layer(scenario, "warehouse", population),
+    )

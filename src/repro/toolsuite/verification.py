@@ -1,0 +1,215 @@
+"""Phase *post*: functional verification of the integrated data (Fig. 6).
+
+After the measured phase, the toolsuite verifies that the integration
+system actually did its job for the final period: messages landed where
+they should, cleansing removed the dirt, the warehouse is referentially
+consistent, the marts partition the warehouse, and the materialized views
+are fresh.  Failures here mean the *system under test* is functionally
+wrong, regardless of how fast it was.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.engine.base import IntegrationEngine
+from repro.scenario.messages import MessageFactory
+from repro.scenario.topology import Scenario
+
+_CUSTOMER_NAME_RE = re.compile(r"^Customer#\d+$")
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of phase post: per-check status plus failure details."""
+
+    checks: list[str] = field(default_factory=list)
+    failures: list[str] = field(default_factory=list)
+
+    def record(self, name: str, ok: bool, detail: str = "") -> None:
+        self.checks.append(name)
+        if not ok:
+            self.failures.append(f"{name}: {detail}" if detail else name)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        lines = [f"verification {status}: {len(self.checks)} checks"]
+        lines.extend(f"  FAIL {failure}" for failure in self.failures)
+        return "\n".join(lines)
+
+
+def verify_period(
+    scenario: Scenario,
+    engine: IntegrationEngine,
+    factory: MessageFactory,
+) -> VerificationReport:
+    """Verify the state left behind by the last executed period."""
+    report = VerificationReport()
+    cdb = scenario.databases["sales_cleaning"]
+    dwh = scenario.databases["dwh"]
+
+    # -- P10: failed San Diego messages were captured, valid ones loaded ----
+    failed = len(cdb.table("failed_messages"))
+    report.record(
+        "p10_failed_message_capture",
+        failed == factory.sandiego_invalid,
+        f"failed_messages={failed}, injected invalid={factory.sandiego_invalid}",
+    )
+
+    # -- P12: master data cleansing left only clean, integrated customers ----
+    customers = cdb.table("customer").scan()
+    dirty_names = [c for c in customers if not _CUSTOMER_NAME_RE.match(c["name"] or "")]
+    report.record(
+        "p12_no_corrupted_master_data",
+        not dirty_names,
+        f"{len(dirty_names)} corrupted customer names survived cleansing",
+    )
+    unintegrated = [c for c in customers if not c["integrated"]]
+    report.record(
+        "p12_master_data_flagged_integrated",
+        not unintegrated,
+        f"{len(unintegrated)} customers not flagged integrated",
+    )
+    seen_pairs: dict[tuple, int] = {}
+    duplicate_pairs = 0
+    for c in customers:
+        key = (c["address"], c["phone"])
+        duplicate_pairs += key in seen_pairs
+        seen_pairs[key] = c["custkey"]
+    report.record(
+        "p12_no_duplicate_master_data",
+        duplicate_pairs == 0,
+        f"{duplicate_pairs} duplicate (address, phone) pairs survived",
+    )
+
+    # -- P13: movement data moved, CDB delta cleared ---------------------------
+    report.record(
+        "p13_cdb_movement_cleared",
+        len(cdb.table("orders")) == 0 and len(cdb.table("orderline")) == 0,
+        f"orders={len(cdb.table('orders'))}, "
+        f"orderline={len(cdb.table('orderline'))} left in the CDB",
+    )
+    dwh_orders = len(dwh.table("orders"))
+    report.record(
+        "p13_dwh_received_movement_data",
+        dwh_orders > 0,
+        "data warehouse has no orders",
+    )
+
+    # -- P13: movement errors were eliminated before the load -----------------
+    bad_lines = [
+        row for row in dwh.table("orderline").scan()
+        if row["quantity"] is None or row["quantity"] <= 0
+    ]
+    report.record(
+        "p13_no_movement_errors_in_dwh",
+        not bad_lines,
+        f"{len(bad_lines)} orderlines with non-positive quantities "
+        "reached the warehouse",
+    )
+
+    # -- warehouse referential integrity ----------------------------------------
+    violations = dwh.check_integrity()
+    report.record(
+        "dwh_referential_integrity",
+        not violations,
+        "; ".join(violations[:5]),
+    )
+
+    # -- OrdersMV freshness -------------------------------------------------------
+    orders_mv = dwh.materialized_view("OrdersMV")
+    report.record(
+        "p13_orders_mv_refreshed",
+        orders_mv.is_populated and orders_mv.refresh_count > 0,
+        "OrdersMV was never refreshed",
+    )
+
+    # -- P14: the marts partition the warehouse ------------------------------------
+    mart_names = ("dm_europe", "dm_united_states", "dm_asia")
+    mart_orders = sum(
+        len(scenario.databases[m].table("orders")) for m in mart_names
+    )
+    report.record(
+        "p14_marts_partition_dwh_orders",
+        mart_orders == dwh_orders,
+        f"marts hold {mart_orders} orders, warehouse holds {dwh_orders}",
+    )
+    for mart in mart_names:
+        mart_db = scenario.databases[mart]
+        fk_violations = mart_db.check_integrity()
+        report.record(
+            f"{mart}_referential_integrity",
+            not fk_violations,
+            "; ".join(fk_violations[:3]),
+        )
+        view = mart_db.materialized_view("OrdersMV")
+        report.record(
+            f"p15_{mart}_view_refreshed",
+            view.is_populated,
+            "mart view never refreshed",
+        )
+
+    # -- message reconciliation: every valid sent order either reached the
+    # warehouse, or was legitimately cleansed because its customer's
+    # master data turned out error-prone (P13 orphan elimination).
+    dwh_orderkeys = {row["orderkey"] for row in dwh.table("orders").scan()}
+    dwh_custkeys = {row["custkey"] for row in dwh.table("customer").scan()}
+    for source, sent in (
+        ("vienna", factory.vienna_orderkeys),
+        ("hongkong", factory.hongkong_orderkeys),
+        ("sandiego", factory.sandiego_valid_orderkeys),
+    ):
+        missing = [
+            orderkey
+            for orderkey, custkey in sent
+            if orderkey not in dwh_orderkeys and custkey in dwh_custkeys
+        ]
+        report.record(
+            f"{source}_orders_reconciled",
+            not missing,
+            f"{len(missing)}/{len(sent)} sent orders with surviving "
+            f"customers missing from the warehouse (e.g. {missing[:3]})",
+        )
+
+    # -- P02: the master data subscription landed in the right database -------
+    from repro.scenario.topology import EUROPE_TRONDHEIM_THRESHOLD
+
+    stale = []
+    for custkey, expected_address in factory.mdm_updates.items():
+        db_name = (
+            "berlin_paris" if custkey < EUROPE_TRONDHEIM_THRESHOLD
+            else "trondheim"
+        )
+        stored = scenario.databases[db_name].table("eu_customer").get(custkey)
+        if stored is None or stored["cust_address"] != expected_address:
+            stale.append(custkey)
+    report.record(
+        "p02_subscription_applied",
+        not stale,
+        f"{len(stale)}/{len(factory.mdm_updates)} MDM updates not applied "
+        f"(e.g. {stale[:3]})",
+    )
+
+    # -- P01: Seoul received translated Beijing master data -----------------------
+    seoul_store = scenario.web_service_databases["seoul"]
+    report.record(
+        "p01_seoul_master_data_present",
+        len(seoul_store.table("customer")) > 0,
+        "Seoul holds no customer master data",
+    )
+
+    # -- engine-level health ----------------------------------------------------------
+    errors = engine.error_records()
+    report.record(
+        "no_failed_instances",
+        not errors,
+        "; ".join(
+            f"{r.process_id}: {r.error}" for r in errors[:3]
+        ),
+    )
+    return report

@@ -1,0 +1,54 @@
+"""XML infrastructure for the message-oriented parts of the scenario.
+
+Several DIPBench sources speak XML: the proprietary applications Vienna and
+San Diego send deep-structured XML messages, MDM_Europe publishes master
+data as XML, and the Asian region exposes "data sources hidden by Web
+services" that return generic result-set XML.  Process types P01, P02, P04
+and P08–P10 translate between those schemas using STX stylesheets.
+
+This package provides:
+
+* a small immutable-ish document model (:class:`XmlElement`) with parsing
+  and serialization built on the standard library,
+* an XSD-subset validator (:mod:`repro.xmlkit.xsd`) used by the VALIDATE
+  operator (P10, P12, P13),
+* an XPath subset (:mod:`repro.xmlkit.xpath`) for message field access,
+* an STX-like streaming transformer (:mod:`repro.xmlkit.stx`), and
+* converters between relations and generic result-set XML
+  (:mod:`repro.xmlkit.convert`), the "default result set XSDs" of region Asia.
+"""
+
+from repro.xmlkit.doc import XmlElement, parse_xml, serialize_xml
+from repro.xmlkit.xsd import XsdAttribute, XsdChild, XsdElement, XsdSchema
+from repro.xmlkit.xpath import xpath_all, xpath_first, xpath_text
+from repro.xmlkit.stx import (
+    DropRule,
+    RenameRule,
+    Stylesheet,
+    TemplateRule,
+    UnwrapRule,
+    ValueRule,
+)
+from repro.xmlkit.convert import relation_to_resultset, resultset_to_rows, rows_to_resultset
+
+__all__ = [
+    "XmlElement",
+    "parse_xml",
+    "serialize_xml",
+    "XsdSchema",
+    "XsdElement",
+    "XsdChild",
+    "XsdAttribute",
+    "xpath_all",
+    "xpath_first",
+    "xpath_text",
+    "Stylesheet",
+    "TemplateRule",
+    "RenameRule",
+    "DropRule",
+    "UnwrapRule",
+    "ValueRule",
+    "relation_to_resultset",
+    "resultset_to_rows",
+    "rows_to_resultset",
+]

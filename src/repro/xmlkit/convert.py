@@ -1,0 +1,106 @@
+"""Converters between relations and generic result-set XML.
+
+Region Asia "follows a generic approach, where all schemas are expressed
+with default result set XSDs" — the web services there are plain data
+sources hidden behind XML.  The canonical shape produced and consumed
+here is::
+
+    <ResultSet table="orders">
+      <Row>
+        <orderkey>1</orderkey>
+        <custkey>42</custkey>
+        ...
+      </Row>
+      ...
+    </ResultSet>
+
+NULL column values are serialized as empty elements with a
+``null="true"`` attribute so a round trip preserves them.
+"""
+
+from __future__ import annotations
+
+import datetime
+from decimal import Decimal
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import XmlParseError
+from repro.db.relation import Relation
+from repro.xmlkit.doc import XmlElement
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, (datetime.date, datetime.datetime)):
+        return value.isoformat()
+    return str(value)
+
+
+def rows_to_resultset(
+    columns: Sequence[str],
+    rows: Iterable[Mapping[str, Any]],
+    table: str = "",
+) -> XmlElement:
+    """Serialize rows into the generic result-set shape."""
+    attrs = {"table": table} if table else {}
+    result = XmlElement("ResultSet", attrs)
+    for row in rows:
+        row_el = result.add(XmlElement("Row"))
+        for name in columns:
+            value = row.get(name)
+            if value is None:
+                row_el.add(XmlElement(name, {"null": "true"}))
+            else:
+                row_el.add_text_child(name, _render(value))
+    return result
+
+
+def relation_to_resultset(relation: Relation, table: str = "") -> XmlElement:
+    """Serialize a :class:`Relation` into the generic result-set shape."""
+    return rows_to_resultset(relation.columns, relation.rows, table)
+
+
+def resultset_to_rows(
+    document: XmlElement,
+    types: Mapping[str, str] | None = None,
+) -> list[dict[str, Any]]:
+    """Parse the generic result-set shape back into row dicts.
+
+    ``types`` optionally maps column names to SQL types so values come
+    back typed (``{"orderkey": "BIGINT", "total": "DECIMAL"}``); untyped
+    columns stay strings.
+    """
+    if document.tag != "ResultSet":
+        raise XmlParseError(
+            f"expected <ResultSet>, got <{document.tag}>"
+        )
+    types = dict(types or {})
+    rows: list[dict[str, Any]] = []
+    for row_el in document.find_all("Row"):
+        row: dict[str, Any] = {}
+        for cell in row_el.children:
+            if cell.attributes.get("null") == "true":
+                row[cell.tag] = None
+                continue
+            text = cell.text or ""
+            row[cell.tag] = _parse_typed(text, types.get(cell.tag))
+        rows.append(row)
+    return rows
+
+
+def _parse_typed(text: str, sql_type: str | None) -> Any:
+    if sql_type is None:
+        return text
+    sql_type = sql_type.upper()
+    if sql_type in ("INTEGER", "BIGINT"):
+        return int(text)
+    if sql_type == "DECIMAL":
+        return Decimal(text)
+    if sql_type == "DOUBLE":
+        return float(text)
+    if sql_type == "DATE":
+        return datetime.date.fromisoformat(text)
+    if sql_type == "TIMESTAMP":
+        return datetime.datetime.fromisoformat(text)
+    if sql_type == "BOOLEAN":
+        return text in ("true", "1", "True")
+    return text

@@ -1,0 +1,140 @@
+"""An XPath subset for message field access.
+
+Integration operators address parts of messages with simple path
+expressions, e.g. the SWITCH of process type P02 reads
+``/CustomerMessage/Customer/Custkey``.  Supported grammar:
+
+* absolute (``/a/b``) and relative (``a/b``) location paths,
+* ``//`` descendant-or-self steps (``//Custkey``, ``/a//b``),
+* the wildcard step ``*``,
+* a final ``@attr`` step selecting an attribute value,
+* a final ``text()`` step selecting the text content,
+* positional predicates ``[n]`` (1-based, over the whole step result) and
+  equality predicates on a child's text, ``[Child='value']``.
+
+Absolute paths are evaluated from the document node (so ``/Order`` matches
+a document whose root element is ``Order``); relative paths are evaluated
+from the context element's children.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.errors import XPathError
+from repro.xmlkit.doc import XmlElement
+
+_STEP_RE = re.compile(
+    r"^(?P<name>\*|[A-Za-z_][\w.-]*|text\(\)|@[A-Za-z_][\w.-]*)"
+    r"(?P<pred>\[[^\]]+\])?$"
+)
+
+_DESCENDANT_MARK = "\x00"
+
+
+def _tokenize(path: str) -> tuple[bool, list[tuple[bool, str, str | None]]]:
+    """Parse a path into (is_absolute, [(descendant?, name, predicate)])."""
+    if not path or path in ("/", "//"):
+        raise XPathError(f"empty XPath expression: {path!r}")
+    absolute = path.startswith("/")
+    raw = path
+    if raw.startswith("//"):
+        raw = _DESCENDANT_MARK + raw[2:]
+    elif raw.startswith("/"):
+        raw = raw[1:]
+    raw = raw.replace("//", "/" + _DESCENDANT_MARK)
+    steps: list[tuple[bool, str, str | None]] = []
+    for piece in raw.split("/"):
+        if not piece:
+            raise XPathError(f"empty step in XPath {path!r}")
+        descendant = piece.startswith(_DESCENDANT_MARK)
+        if descendant:
+            piece = piece[1:]
+        match = _STEP_RE.match(piece)
+        if not match:
+            raise XPathError(f"unsupported XPath step {piece!r} in {path!r}")
+        predicate = match.group("pred")
+        steps.append(
+            (descendant, match.group("name"), predicate[1:-1] if predicate else None)
+        )
+    return absolute, steps
+
+
+def _apply_predicate(nodes: list[XmlElement], predicate: str) -> list[XmlElement]:
+    predicate = predicate.strip()
+    if predicate.isdigit():
+        index = int(predicate)
+        if index < 1:
+            raise XPathError(f"positional predicate must be >= 1: [{predicate}]")
+        return nodes[index - 1 : index]
+    eq = re.match(r"^([A-Za-z_][\w.-]*)\s*=\s*'([^']*)'$", predicate)
+    if not eq:
+        raise XPathError(f"unsupported predicate [{predicate}]")
+    child_tag, wanted = eq.group(1), eq.group(2)
+    return [
+        node
+        for node in nodes
+        if any(
+            child.tag == child_tag and (child.text or "") == wanted
+            for child in node.children
+        )
+    ]
+
+
+def xpath_all(root: XmlElement, path: str) -> list[Any]:
+    """Evaluate ``path`` against ``root``; returns elements or strings."""
+    absolute, steps = _tokenize(path)
+    if absolute:
+        # The document node owns the root element.
+        current: list[XmlElement] = [XmlElement("#document", children=[root])]
+    else:
+        current = [root]
+
+    for step_index, (descendant, name, predicate) in enumerate(steps):
+        is_last = step_index == len(steps) - 1
+        if name == "text()":
+            if not is_last:
+                raise XPathError("text() must be the final step")
+            return [node.text or "" for node in current]
+        if name.startswith("@"):
+            if not is_last:
+                raise XPathError("attribute steps must be final")
+            attr = name[1:]
+            return [
+                node.attributes[attr]
+                for node in current
+                if attr in node.attributes
+            ]
+        next_nodes: list[XmlElement] = []
+        seen: set[int] = set()
+        for node in current:
+            if descendant:
+                # All proper descendants, in document order.
+                candidates = (el for el in node.iter() if el is not node)
+            else:
+                candidates = iter(node.children)
+            for child in candidates:
+                if (name == "*" or child.tag == name) and id(child) not in seen:
+                    seen.add(id(child))
+                    next_nodes.append(child)
+        if predicate:
+            next_nodes = _apply_predicate(next_nodes, predicate)
+        current = next_nodes
+    return current
+
+
+def xpath_first(root: XmlElement, path: str) -> Any | None:
+    """First result of :func:`xpath_all`, or None."""
+    results = xpath_all(root, path)
+    return results[0] if results else None
+
+
+def xpath_text(root: XmlElement, path: str, default: str | None = None) -> str | None:
+    """Text content of the first matching node (or attribute value)."""
+    result = xpath_first(root, path)
+    if result is None:
+        return default
+    if isinstance(result, XmlElement):
+        return result.text or ""
+    return str(result)

@@ -1,0 +1,179 @@
+"""Domain data generators."""
+
+import datetime
+
+import pytest
+
+from repro.datagen.distributions import ZipfDistribution
+from repro.datagen.generators import GEOGRAPHY, DataGenerator, GeneratorProfile
+from repro.errors import ScaleFactorError
+
+
+@pytest.fixture()
+def gen():
+    return DataGenerator(seed=4)
+
+
+class TestGeography:
+    def test_keys_are_dense_and_unique(self, gen):
+        regions, nations, cities = gen.geography_rows()
+        assert [r["regionkey"] for r in regions] == [1, 2, 3]
+        assert len({n["nationkey"] for n in nations}) == len(nations)
+        assert len({c["citykey"] for c in cities}) == len(cities)
+
+    def test_every_city_references_a_nation(self, gen):
+        _, nations, cities = gen.geography_rows()
+        nation_keys = {n["nationkey"] for n in nations}
+        assert all(c["nationkey"] in nation_keys for c in cities)
+
+    def test_city_keys_for_region(self, gen):
+        keys = gen.city_keys_for_region("Asia")
+        _, nations, cities = gen.geography_rows()
+        asia_cities = [c["name"] for c in cities if c["citykey"] in keys]
+        expected = [
+            city for nation in GEOGRAPHY["Asia"].values() for city in nation
+        ]
+        assert sorted(asia_cities) == sorted(expected)
+
+    def test_unknown_region(self, gen):
+        with pytest.raises(ScaleFactorError):
+            gen.city_keys_for_region("Atlantis")
+
+    def test_geography_is_stable(self):
+        a = DataGenerator(seed=1).geography_rows()
+        b = DataGenerator(seed=99).geography_rows()
+        assert a == b  # reference data is seed-independent
+
+
+class TestCustomers:
+    def test_key_offset(self, gen):
+        customers = gen.customers(3, key_offset=1000)
+        assert [c["custkey"] for c in customers] == [1001, 1002, 1003]
+
+    def test_city_within_region(self, gen):
+        europe_keys = set(gen.city_keys_for_region("Europe"))
+        customers = gen.customers(20, region="Europe")
+        assert all(c["citykey"] in europe_keys for c in customers)
+
+    def test_name_matches_cleansing_pattern(self, gen):
+        import re
+
+        for c in gen.customers(10):
+            assert re.match(r"^Customer#\d{9}$", c["name"])
+
+    def test_deterministic(self):
+        a = DataGenerator(seed=5).customers(5)
+        b = DataGenerator(seed=5).customers(5)
+        assert a == b
+
+
+class TestProducts:
+    def test_dimension_structure(self, gen):
+        products, groups, lines = gen.product_dimension(30)
+        assert len(lines) == 3
+        assert len(groups) == 12
+        line_keys = {l["linekey"] for l in lines}
+        assert all(g["linekey"] in line_keys for g in groups)
+        group_keys = {g["groupkey"] for g in groups}
+        assert all(p["groupkey"] in group_keys for p in products)
+
+    def test_prices_positive(self, gen):
+        products, _, _ = gen.product_dimension(50)
+        assert all(p["price"] > 0 for p in products)
+
+
+class TestOrders:
+    def test_orders_and_lines_consistent(self, gen):
+        customers = gen.customers(5)
+        products, _, _ = gen.product_dimension(10)
+        orders, lines = gen.orders(
+            20, [c["custkey"] for c in customers], [p["prodkey"] for p in products]
+        )
+        order_keys = {o["orderkey"] for o in orders}
+        assert len(order_keys) == 20
+        assert all(l["orderkey"] in order_keys for l in lines)
+        assert all(l["quantity"] > 0 for l in lines)
+
+    def test_total_price_is_line_sum(self, gen):
+        customers = gen.customers(2)
+        products, _, _ = gen.product_dimension(5)
+        orders, lines = gen.orders(
+            10, [c["custkey"] for c in customers], [p["prodkey"] for p in products]
+        )
+        for order in orders:
+            line_sum = sum(
+                l["extendedprice"] for l in lines if l["orderkey"] == order["orderkey"]
+            )
+            assert order["totalprice"] == pytest.approx(line_sum, abs=0.01)
+
+    def test_dates_within_span(self, gen):
+        customers = gen.customers(2)
+        products, _, _ = gen.product_dimension(3)
+        orders, _ = gen.orders(
+            30, [c["custkey"] for c in customers],
+            [p["prodkey"] for p in products], date_span_days=10,
+        )
+        low = datetime.date(2007, 1, 1)
+        high = low + datetime.timedelta(days=9)
+        assert all(low <= o["orderdate"] <= high for o in orders)
+
+    def test_requires_keys(self, gen):
+        with pytest.raises(ScaleFactorError):
+            gen.orders(1, [], [1])
+
+    def test_zipf_skews_customer_references(self):
+        gen = DataGenerator(seed=2, distribution=ZipfDistribution(seed=2))
+        customers = [c["custkey"] for c in gen.customers(100)]
+        products, _, _ = gen.product_dimension(10)
+        orders, _ = gen.orders(300, customers, [p["prodkey"] for p in products])
+        hot = sum(1 for o in orders if o["custkey"] <= customers[9])
+        assert hot > 300 * 0.4  # top-10 customers get a large share
+
+
+class TestDirtInjection:
+    def test_duplicates_marked_and_keyed(self):
+        gen = DataGenerator(seed=1, profile=GeneratorProfile(duplicate_rate=0.2))
+        rows = gen.customers(50)
+        dirty = gen.with_duplicates(rows, "custkey")
+        duplicates = [r for r in dirty if "_duplicate_of" in r]
+        assert len(duplicates) == 10
+        original_keys = {r["custkey"] for r in rows}
+        assert all(d["custkey"] not in original_keys for d in duplicates)
+        assert all(d["_duplicate_of"] in original_keys for d in duplicates)
+
+    def test_duplicates_keep_matching_contact_data(self):
+        gen = DataGenerator(seed=1, profile=GeneratorProfile(duplicate_rate=0.2))
+        rows = gen.customers(50)
+        by_key = {r["custkey"]: r for r in rows}
+        for dup in gen.with_duplicates(rows, "custkey"):
+            if "_duplicate_of" in dup:
+                original = by_key[dup["_duplicate_of"]]
+                assert dup["address"] == original["address"]
+                assert dup["phone"] == original["phone"]
+
+    def test_empty_input(self, gen):
+        assert gen.with_duplicates([], "custkey") == []
+
+    def test_corruption_rate(self):
+        gen = DataGenerator(seed=1, profile=GeneratorProfile(corruption_rate=0.5))
+        rows = gen.customers(200)
+        dirty = gen.with_corruption(rows, ["name"])
+        corrupted = [r for r in dirty if r.get("_corrupted")]
+        assert 50 < len(corrupted) < 150
+
+    def test_corruption_changes_named_columns_only(self):
+        gen = DataGenerator(seed=1, profile=GeneratorProfile(corruption_rate=1.0))
+        rows = gen.customers(5)
+        dirty = gen.with_corruption(rows, ["name"])
+        for original, row in zip(rows, dirty):
+            assert row["_corrupted"]
+            assert row["name"] != original["name"]
+            assert row["address"] == original["address"]
+
+    def test_scaled_minimum_one(self):
+        profile = GeneratorProfile()
+        assert profile.scaled(100, 0.001) == 1
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ScaleFactorError):
+            GeneratorProfile().scaled(100, 0)

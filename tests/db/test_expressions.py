@@ -1,0 +1,125 @@
+"""Expression language: evaluation, null semantics, functions."""
+
+import datetime
+
+import pytest
+
+from repro.db.expressions import (
+    BinaryOp,
+    FunctionCall,
+    Literal,
+    UnaryOp,
+    col,
+    func,
+    lit,
+)
+from repro.errors import QueryError
+
+ROW = {"a": 5, "b": 2, "name": "Ada", "none_col": None,
+       "d": datetime.date(2007, 3, 9)}
+
+
+class TestBasics:
+    def test_column_lookup(self):
+        assert col("a").evaluate(ROW) == 5
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(QueryError):
+            col("ghost").evaluate(ROW)
+
+    def test_literal(self):
+        assert lit(7).evaluate(ROW) == 7
+
+    def test_comparison_operators(self):
+        assert (col("a") > lit(4)).evaluate(ROW) is True
+        assert (col("a") <= col("b")).evaluate(ROW) is False
+        assert (col("a") != col("b")).evaluate(ROW) is True
+
+    def test_arithmetic(self):
+        assert (col("a") + col("b")).evaluate(ROW) == 7
+        assert (col("a") * lit(3)).evaluate(ROW) == 15
+        assert (col("a") - lit(1)).evaluate(ROW) == 4
+
+    def test_bare_values_become_literals(self):
+        assert (col("a") == 5).evaluate(ROW) is True
+
+    def test_referenced_columns(self):
+        expr = (col("a") + col("b")) > lit(0)
+        assert expr.referenced_columns() == {"a", "b"}
+
+
+class TestNullSemantics:
+    def test_comparison_with_null_is_null(self):
+        assert (col("none_col") == lit(1)).evaluate(ROW) is None
+        assert (col("none_col") < lit(1)).evaluate(ROW) is None
+
+    def test_and_short_circuit_false(self):
+        expr = (col("a") > lit(100)) & (col("none_col") == lit(1))
+        assert expr.evaluate(ROW) is False
+
+    def test_and_with_null_is_null(self):
+        expr = (col("a") > lit(0)) & (col("none_col") == lit(1))
+        assert expr.evaluate(ROW) is None
+
+    def test_or_with_true_wins_over_null(self):
+        expr = (col("none_col") == lit(1)) | (col("a") > lit(0))
+        assert expr.evaluate(ROW) is True
+
+    def test_or_with_null_is_null(self):
+        expr = (col("none_col") == lit(1)) | (col("a") > lit(100))
+        assert expr.evaluate(ROW) is None
+
+    def test_not_null_is_null(self):
+        assert (~(col("none_col") == lit(1))).evaluate(ROW) is None
+
+    def test_is_null(self):
+        assert UnaryOp("IS NULL", col("none_col")).evaluate(ROW) is True
+        assert UnaryOp("IS NOT NULL", col("a")).evaluate(ROW) is True
+
+
+class TestFunctions:
+    def test_string_functions(self):
+        assert func("UPPER", col("name")).evaluate(ROW) == "ADA"
+        assert func("LOWER", col("name")).evaluate(ROW) == "ada"
+        assert func("LENGTH", col("name")).evaluate(ROW) == 3
+
+    def test_substr(self):
+        assert func("SUBSTR", col("name"), 2).evaluate(ROW) == "da"
+        assert func("SUBSTR", col("name"), 1, 2).evaluate(ROW) == "Ad"
+
+    def test_concat(self):
+        assert func("CONCAT", col("name"), lit("!")).evaluate(ROW) == "Ada!"
+
+    def test_concat_null_propagates(self):
+        assert func("CONCAT", col("name"), col("none_col")).evaluate(ROW) is None
+
+    def test_coalesce(self):
+        assert func("COALESCE", col("none_col"), col("a")).evaluate(ROW) == 5
+
+    def test_time_dimension_functions(self):
+        """The DWH time dimension is built-in functions (Fig. 3)."""
+        assert func("YEAR", col("d")).evaluate(ROW) == 2007
+        assert func("MONTH", col("d")).evaluate(ROW) == 3
+        assert func("DAY", col("d")).evaluate(ROW) == 9
+
+    def test_null_date_functions(self):
+        assert func("YEAR", col("none_col")).evaluate(ROW) is None
+
+    def test_abs(self):
+        assert func("ABS", lit(-4)).evaluate(ROW) == 4
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(QueryError):
+            FunctionCall("MYSTERY")
+
+    def test_unknown_binary_op_rejected(self):
+        with pytest.raises(QueryError):
+            BinaryOp("<=>", Literal(1), Literal(2))
+
+    def test_unknown_unary_op_rejected(self):
+        with pytest.raises(QueryError):
+            UnaryOp("SQRT", Literal(1))
+
+    def test_type_error_becomes_query_error(self):
+        with pytest.raises(QueryError):
+            (col("a") + col("name")).evaluate(ROW)

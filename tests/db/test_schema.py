@@ -1,0 +1,95 @@
+"""Table/column definitions and their validation."""
+
+import pytest
+
+from repro.db.schema import Column, ForeignKey, TableSchema
+from repro.errors import SchemaError
+
+
+class TestColumn:
+    def test_canonicalizes_type(self):
+        assert Column("k", "bigint").sql_type == "BIGINT"
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(SchemaError):
+            Column("not a name", "INTEGER")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Column("", "INTEGER")
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(SchemaError):
+            Column("k", "VARCHAR", length=0)
+
+    def test_is_frozen(self):
+        column = Column("k", "INTEGER")
+        with pytest.raises(AttributeError):
+            column.name = "other"
+
+
+class TestForeignKey:
+    def test_column_count_must_match(self):
+        with pytest.raises(SchemaError):
+            ForeignKey(("a", "b"), "parent", ("x",))
+
+    def test_needs_at_least_one_column(self):
+        with pytest.raises(SchemaError):
+            ForeignKey((), "parent", ())
+
+
+class TestTableSchema:
+    def _schema(self):
+        return TableSchema(
+            "orders",
+            [
+                Column("orderkey", "BIGINT", nullable=False),
+                Column("custkey", "BIGINT", nullable=False),
+                Column("note", "VARCHAR"),
+            ],
+            primary_key=("orderkey",),
+            foreign_keys=[ForeignKey(("custkey",), "customer", ("custkey",))],
+        )
+
+    def test_column_names_preserve_order(self):
+        assert self._schema().column_names == ("orderkey", "custkey", "note")
+
+    def test_column_lookup(self):
+        assert self._schema().column("note").sql_type == "VARCHAR"
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            self._schema().column("nope")
+
+    def test_has_column(self):
+        schema = self._schema()
+        assert schema.has_column("custkey")
+        assert not schema.has_column("ghost")
+
+    def test_pk_extraction(self):
+        row = {"orderkey": 9, "custkey": 1, "note": None}
+        assert self._schema().pk_of(row) == (9,)
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", "INTEGER"), Column("a", "INTEGER")])
+
+    def test_rejects_unknown_pk_column(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", "INTEGER")], primary_key=("b",))
+
+    def test_rejects_unknown_fk_column(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                [Column("a", "INTEGER")],
+                foreign_keys=[ForeignKey(("b",), "p", ("x",))],
+            )
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_rejects_bad_table_name(self):
+        with pytest.raises(SchemaError):
+            TableSchema("no spaces", [Column("a", "INTEGER")])

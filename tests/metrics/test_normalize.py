@@ -1,0 +1,110 @@
+"""Cost normalization under concurrency (Section V)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BenchmarkError
+from repro.metrics.normalize import ActiveInterval, normalize_intervals
+
+
+class TestBasics:
+    def test_empty(self):
+        assert normalize_intervals([]) == {}
+
+    def test_single_interval_equals_elapsed(self):
+        result = normalize_intervals([ActiveInterval(1, 2.0, 7.0)])
+        assert result == {1: 5.0}
+
+    def test_disjoint_intervals_unchanged(self):
+        result = normalize_intervals([
+            ActiveInterval(1, 0.0, 4.0),
+            ActiveInterval(2, 10.0, 13.0),
+        ])
+        assert result == {1: 4.0, 2: 3.0}
+
+    def test_fully_overlapping_pair_splits_evenly(self):
+        result = normalize_intervals([
+            ActiveInterval(1, 0.0, 10.0),
+            ActiveInterval(2, 0.0, 10.0),
+        ])
+        assert result == {1: 5.0, 2: 5.0}
+
+    def test_partial_overlap(self):
+        result = normalize_intervals([
+            ActiveInterval(1, 0.0, 10.0),
+            ActiveInterval(2, 5.0, 15.0),
+        ])
+        # [0,5) alone -> 5; [5,10) shared -> 2.5 each; [10,15) alone -> 5.
+        assert result[1] == pytest.approx(7.5)
+        assert result[2] == pytest.approx(7.5)
+
+    def test_nested_interval(self):
+        result = normalize_intervals([
+            ActiveInterval(1, 0.0, 10.0),
+            ActiveInterval(2, 4.0, 6.0),
+        ])
+        assert result[1] == pytest.approx(9.0)
+        assert result[2] == pytest.approx(1.0)
+
+    def test_zero_length_interval(self):
+        result = normalize_intervals([ActiveInterval(1, 3.0, 3.0)])
+        assert result == {1: 0.0}
+
+    def test_backwards_interval_rejected(self):
+        with pytest.raises(BenchmarkError):
+            ActiveInterval(1, 5.0, 1.0)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(BenchmarkError):
+            normalize_intervals([
+                ActiveInterval(1, 0.0, 1.0),
+                ActiveInterval(1, 2.0, 3.0),
+            ])
+
+
+intervals_strategy = st.lists(
+    st.tuples(
+        st.floats(0, 100, allow_nan=False),
+        st.floats(0, 50, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=12,
+).map(
+    lambda pairs: [
+        ActiveInterval(i, start, start + width)
+        for i, (start, width) in enumerate(pairs)
+    ]
+)
+
+
+class TestInvariants:
+    @given(intervals_strategy)
+    @settings(max_examples=100)
+    def test_total_normalized_equals_busy_time(self, intervals):
+        """Sum of normalized costs == measure of the union of intervals."""
+        normalized = normalize_intervals(intervals)
+        boundaries = sorted(
+            {i.start for i in intervals} | {i.end for i in intervals}
+        )
+        busy = sum(
+            right - left
+            for left, right in zip(boundaries, boundaries[1:])
+            if any(i.start <= left and i.end >= right for i in intervals)
+        )
+        assert sum(normalized.values()) == pytest.approx(busy)
+
+    @given(intervals_strategy)
+    @settings(max_examples=100)
+    def test_normalized_never_exceeds_elapsed(self, intervals):
+        normalized = normalize_intervals(intervals)
+        for interval in intervals:
+            assert (
+                normalized[interval.instance_id]
+                <= interval.elapsed + 1e-9
+            )
+
+    @given(intervals_strategy)
+    @settings(max_examples=100)
+    def test_nonnegative(self, intervals):
+        assert all(v >= 0 for v in normalize_intervals(intervals).values())

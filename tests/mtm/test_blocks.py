@@ -1,0 +1,181 @@
+"""Structured blocks: Sequence, Switch, Fork, Subprocess."""
+
+import pytest
+
+from repro.errors import ProcessDefinitionError, ProcessRuntimeError
+from repro.mtm.blocks import Fork, Sequence, Subprocess, Switch, SwitchCase
+from repro.mtm.context import ExecutionContext
+from repro.mtm.message import Message
+from repro.mtm.operators import Assign, Signal, Validate
+from repro.services import Network, ServiceRegistry
+from repro.xmlkit.doc import parse_xml
+from repro.xmlkit.xsd import XsdElement, XsdSchema
+
+
+@pytest.fixture()
+def ctx():
+    net = Network()
+    net.add_host("IS")
+    return ExecutionContext(ServiceRegistry(net), "IS")
+
+
+class TestSequence:
+    def test_runs_in_order(self, ctx):
+        seen = []
+        seq = Sequence([
+            Assign("a", lambda c: seen.append("first") or 1),
+            Assign("b", lambda c: seen.append("second") or 2),
+        ])
+        seq._run(ctx)
+        assert seen == ["first", "second"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProcessDefinitionError):
+            Sequence([])
+
+    def test_validation_failure_stops_sequence(self, ctx):
+        """The P10 pattern: failed validation routes and ends the flow."""
+        schema = XsdSchema("s", XsdElement("expected"))
+        after = []
+        seq = Sequence([
+            Assign("in", Message(parse_xml("<wrong/>"))),
+            Validate("in", schema, on_fail=Assign("note", "failed")),
+            Assign("never", lambda c: after.append(1) or 1),
+        ])
+        seq._run(ctx)
+        assert after == []
+        assert ctx.get("note").payload == "failed"
+
+    def test_iter_tree(self):
+        seq = Sequence([Signal(), Sequence([Signal()])])
+        kinds = [op.kind for op in seq.iter_tree()]
+        assert kinds == ["sequence", "signal", "sequence", "signal"]
+
+
+class TestSwitch:
+    def _switch(self, otherwise=None):
+        return Switch(
+            [
+                SwitchCase(lambda c: c.get("k").payload < 10,
+                           Assign("route", "low"), "low"),
+                SwitchCase(lambda c: c.get("k").payload < 100,
+                           Assign("route", "mid"), "mid"),
+            ],
+            otherwise=otherwise,
+        )
+
+    def test_first_matching_case_wins(self, ctx):
+        ctx.set("k", Message(5))
+        self._switch()._run(ctx)
+        assert ctx.get("route").payload == "low"
+
+    def test_second_case(self, ctx):
+        ctx.set("k", Message(50))
+        self._switch()._run(ctx)
+        assert ctx.get("route").payload == "mid"
+
+    def test_otherwise(self, ctx):
+        ctx.set("k", Message(5000))
+        self._switch(otherwise=Assign("route", "high"))._run(ctx)
+        assert ctx.get("route").payload == "high"
+
+    def test_no_match_no_otherwise_is_noop(self, ctx):
+        ctx.set("k", Message(5000))
+        self._switch()._run(ctx)
+        assert not ctx.has("route")
+
+    def test_needs_cases(self):
+        with pytest.raises(ProcessDefinitionError):
+            Switch([])
+
+
+class TestFork:
+    def test_branch_writes_merged(self, ctx):
+        fork = Fork([Assign("a", 1), Assign("b", 2)])
+        fork._run(ctx)
+        assert ctx.get("a").payload == 1
+        assert ctx.get("b").payload == 2
+
+    def test_branches_isolated_from_each_other(self, ctx):
+        """A branch must not see a sibling's writes (logical concurrency)."""
+        observations = []
+
+        def probe(c):
+            observations.append(c.has("a"))
+            return 2
+
+        fork = Fork([Assign("a", 1), Assign("b", probe)])
+        fork._run(ctx)
+        assert observations == [False]
+
+    def test_branches_see_pre_fork_state(self, ctx):
+        ctx.set("base", Message(10))
+        fork = Fork([
+            Assign("x", lambda c: c.get("base").payload + 1),
+            Assign("y", lambda c: c.get("base").payload + 2),
+        ])
+        fork._run(ctx)
+        assert ctx.get("x").payload == 11
+        assert ctx.get("y").payload == 12
+
+    def test_conflicting_writes_rejected(self, ctx):
+        fork = Fork([Assign("same", 1), Assign("same", 2)])
+        with pytest.raises(ProcessRuntimeError, match="both write"):
+            fork._run(ctx)
+
+    def test_needs_two_branches(self):
+        with pytest.raises(ProcessDefinitionError):
+            Fork([Signal()])
+
+    def test_parallel_pricing_credits_overlap(self, ctx):
+        """With perfect efficiency, a fork of equal branches costs one."""
+        ctx.parallel_efficiency = 1.0
+        fork = Fork([
+            Sequence([Assign("a", 1), Signal(), Signal()]),
+            Sequence([Assign("b", 2), Signal(), Signal()]),
+        ])
+        fork._run(ctx)
+        # Each branch: 3 control units; sum 6, max 3; +1 for the fork itself.
+        assert ctx.work_units["control"] == pytest.approx(4.0)
+
+    def test_serial_pricing_when_inefficient(self, ctx):
+        ctx.parallel_efficiency = 0.0
+        fork = Fork([Signal(), Signal()])
+        fork._run(ctx)
+        assert ctx.work_units["control"] == pytest.approx(3.0)
+
+
+class TestSubprocess:
+    def _ctx_with_runner(self, result=None):
+        net = Network()
+        net.add_host("IS")
+        calls = []
+
+        def runner(process_id, message, parent):
+            calls.append((process_id, message.payload if message else None))
+            return result
+
+        ctx = ExecutionContext(ServiceRegistry(net), "IS",
+                               subprocess_runner=runner)
+        return ctx, calls
+
+    def test_invocation_with_input(self):
+        ctx, calls = self._ctx_with_runner(Message("child-result"))
+        ctx.set("payload", Message("data"))
+        Subprocess("P_CHILD", input="payload", output="out")._run(ctx)
+        assert calls == [("P_CHILD", "data")]
+        assert ctx.get("out").payload == "child-result"
+
+    def test_invocation_without_io(self):
+        ctx, calls = self._ctx_with_runner()
+        Subprocess("P_CHILD")._run(ctx)
+        assert calls == [("P_CHILD", None)]
+
+    def test_missing_result_when_expected(self):
+        ctx, _ = self._ctx_with_runner(result=None)
+        with pytest.raises(ProcessRuntimeError):
+            Subprocess("P_CHILD", output="out")._run(ctx)
+
+    def test_no_runner_configured(self, ctx):
+        with pytest.raises(ProcessRuntimeError):
+            Subprocess("P_CHILD")._run(ctx)

@@ -1,0 +1,144 @@
+"""Static validation of process definitions."""
+
+import pytest
+
+from repro.db import col, lit
+from repro.errors import ProcessDefinitionError
+from repro.mtm import (
+    Assign,
+    EventType,
+    Fork,
+    ProcessGroup,
+    ProcessType,
+    Receive,
+    Selection,
+    Sequence,
+    Signal,
+    Subprocess,
+    Switch,
+    SwitchCase,
+)
+from repro.mtm.process import assert_valid_definition, validate_definition
+
+
+def make(event_type, root, subprocess_only=False, pid="P99"):
+    return ProcessType(pid, ProcessGroup.B, "test", event_type, root,
+                       subprocess_only=subprocess_only)
+
+
+class TestEventTypeRules:
+    def test_e1_must_start_with_receive(self):
+        p = make(EventType.E1_MESSAGE, Sequence([Signal(), Receive("m")]))
+        errors = validate_definition(p)
+        assert any("must *start*" in e for e in errors)
+
+    def test_e1_without_receive(self):
+        p = make(EventType.E1_MESSAGE, Sequence([Signal()]))
+        assert any("must contain" in e for e in validate_definition(p))
+
+    def test_e2_must_not_receive(self):
+        p = make(EventType.E2_SCHEDULE, Sequence([Receive("m"), Signal()]))
+        assert any("must not" in e for e in validate_definition(p))
+
+    def test_valid_e1(self):
+        p = make(EventType.E1_MESSAGE, Sequence([Receive("m"), Signal()]))
+        assert validate_definition(p) == []
+
+    def test_subprocess_may_use_receive(self):
+        p = make(EventType.E2_SCHEDULE, Sequence([Receive("m"), Signal()]),
+                 subprocess_only=True)
+        assert validate_definition(p) == []
+
+    def test_subprocess_may_skip_receive_and_read_in(self):
+        p = make(
+            EventType.E2_SCHEDULE,
+            Sequence([Assign("x", lambda c: c.get("__in"))]),
+            subprocess_only=True,
+        )
+        assert validate_definition(p) == []
+
+
+class TestDataFlow:
+    def test_unbound_read_detected(self):
+        p = make(
+            EventType.E2_SCHEDULE,
+            Sequence([Selection("ghost", "out", col("k") == lit(1))]),
+        )
+        assert any("unbound" in e for e in validate_definition(p))
+
+    def test_bound_by_earlier_step(self):
+        p = make(
+            EventType.E2_SCHEDULE,
+            Sequence([
+                Assign("data", 1),
+                Selection("data", "out", col("k") == lit(1)),
+            ]),
+        )
+        assert validate_definition(p) == []
+
+    def test_switch_branch_binding_not_visible_without_otherwise(self):
+        switch = Switch([SwitchCase(lambda c: True, Assign("v", 1))])
+        p = make(
+            EventType.E2_SCHEDULE,
+            Sequence([switch, Selection("v", "o", col("k") == lit(1))]),
+        )
+        assert any("unbound" in e for e in validate_definition(p))
+
+    def test_switch_all_branches_bind_with_otherwise(self):
+        switch = Switch(
+            [SwitchCase(lambda c: True, Assign("v", 1))],
+            otherwise=Assign("v", 2),
+        )
+        p = make(
+            EventType.E2_SCHEDULE,
+            Sequence([switch, Selection("v", "o", col("k") == lit(1))]),
+        )
+        assert validate_definition(p) == []
+
+    def test_fork_conflicting_writers_detected(self):
+        fork = Fork([Assign("same", 1), Assign("same", 2)])
+        p = make(EventType.E2_SCHEDULE, Sequence([fork, Signal()]))
+        assert any("both write" in e for e in validate_definition(p))
+
+    def test_fork_bindings_visible_after(self):
+        fork = Fork([Assign("a", 1), Assign("b", 2)])
+        p = make(
+            EventType.E2_SCHEDULE,
+            Sequence([fork, Selection("a", "o", col("k") == lit(1))]),
+        )
+        assert validate_definition(p) == []
+
+
+class TestSubprocessRefs:
+    def test_unknown_subprocess(self):
+        p = make(EventType.E2_SCHEDULE, Sequence([Subprocess("P_GHOST")]))
+        errors = validate_definition(p, known_processes=["P01"])
+        assert any("P_GHOST" in e for e in errors)
+
+    def test_known_subprocess_ok(self):
+        p = make(EventType.E2_SCHEDULE, Sequence([Subprocess("P01")]))
+        assert validate_definition(p, known_processes=["P01"]) == []
+
+    def test_subprocess_ids(self):
+        p = make(
+            EventType.E2_SCHEDULE,
+            Sequence([Subprocess("A1"), Fork([Subprocess("A2"), Signal()])]),
+        )
+        assert p.subprocess_ids() == ["A1", "A2"]
+
+
+class TestAssertHelper:
+    def test_raises_with_all_errors(self):
+        p = make(EventType.E1_MESSAGE, Sequence([Signal()]))
+        with pytest.raises(ProcessDefinitionError):
+            assert_valid_definition(p)
+
+    def test_requires_id(self):
+        with pytest.raises(ProcessDefinitionError):
+            ProcessType("", ProcessGroup.A, "x", EventType.E2_SCHEDULE,
+                        Sequence([Signal()]))
+
+    def test_repr(self):
+        p = make(EventType.E1_MESSAGE, Sequence([Receive("m"), Signal()]))
+        assert "P99" in repr(p)
+        assert "E1" in repr(p)

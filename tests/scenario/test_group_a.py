@@ -1,0 +1,122 @@
+"""Group A processes executed end-to-end on an initialized scenario."""
+
+import pytest
+
+from repro.engine import ProcessEvent
+
+
+class TestP01:
+    def test_master_data_reaches_seoul(self, initialized, engine, factory):
+        scenario, _ = initialized
+        seoul = scenario.web_service_databases["seoul"]
+        seoul.table("customer").truncate()
+        message = factory.beijing_master_data(batch_size=4)
+        record = engine.handle_event(
+            ProcessEvent("P01", 0.0, message=message, stream="A")
+        )
+        assert record.status == "ok"
+        assert len(seoul.table("customer")) == 4
+
+    def test_translated_fields_survive(self, initialized, engine, factory):
+        scenario, _ = initialized
+        seoul = scenario.web_service_databases["seoul"]
+        seoul.table("customer").truncate()
+        message = factory.beijing_master_data(batch_size=1)
+        record_el = message.xml().find("CustomerRec")
+        custkey = int(record_el.attributes["custkey"])
+        name = record_el.child_text("CName")
+        engine.handle_event(ProcessEvent("P01", 0.0, message=message, stream="A"))
+        stored = seoul.table("customer").get(custkey)
+        assert stored is not None
+        assert stored["name"] == name
+
+    def test_charges_xml_work(self, initialized, engine, factory):
+        record = engine.handle_event(
+            ProcessEvent("P01", 0.0, message=factory.beijing_master_data())
+        )
+        assert record.costs.processing > 0
+        assert record.costs.communication > 0
+
+
+class TestP02:
+    def _route(self, engine, factory, custkey):
+        message = factory.mdm_customer_update()
+        kunde = message.xml().find("Kunde")
+        kunde.attributes["nr"] = str(custkey)
+        return engine.handle_event(
+            ProcessEvent("P02", 0.0, message=message, stream="A")
+        )
+
+    def test_berlin_route(self, initialized, engine, factory):
+        scenario, population = initialized
+        custkey = population.customer_keys["berlin"][0]
+        record = self._route(engine, factory, custkey)
+        assert record.status == "ok"
+        db = scenario.databases["berlin_paris"]
+        stored = db.table("eu_customer").get(custkey)
+        assert stored["location"] == "Berlin"
+
+    def test_paris_route(self, initialized, engine, factory):
+        scenario, population = initialized
+        custkey = population.customer_keys["paris"][0]
+        self._route(engine, factory, custkey)
+        db = scenario.databases["berlin_paris"]
+        assert db.table("eu_customer").get(custkey)["location"] == "Paris"
+
+    def test_trondheim_route(self, initialized, engine, factory):
+        scenario, population = initialized
+        custkey = population.customer_keys["trondheim"][0]
+        self._route(engine, factory, custkey)
+        db = scenario.databases["trondheim"]
+        assert db.table("eu_customer").get(custkey)["location"] == "Trondheim"
+
+    def test_upsert_semantics(self, initialized, engine, factory):
+        """Replaying a master data change must not duplicate the customer."""
+        scenario, population = initialized
+        custkey = population.customer_keys["berlin"][0]
+        before = len(scenario.databases["berlin_paris"].table("eu_customer"))
+        self._route(engine, factory, custkey)
+        self._route(engine, factory, custkey)
+        after = len(scenario.databases["berlin_paris"].table("eu_customer"))
+        assert after == before
+
+
+class TestP03:
+    def test_consolidation_into_us_eastcoast(self, initialized, engine):
+        scenario, _ = initialized
+        record = engine.handle_event(ProcessEvent("P03", 0.0, stream="A"))
+        assert record.status == "ok"
+        local_cdb = scenario.databases["us_eastcoast"]
+        assert len(local_cdb.table("orders")) > 0
+        assert len(local_cdb.table("customer")) > 0
+        assert len(local_cdb.table("part")) > 0
+        assert len(local_cdb.table("lineitem")) > 0
+
+    def test_union_distinct_dedups_shared_keys(self, initialized, engine):
+        """Chicago/Baltimore/Madison hold overlapping populations; the
+        consolidated result must be duplicate-free."""
+        scenario, _ = initialized
+        engine.handle_event(ProcessEvent("P03", 0.0, stream="A"))
+        local_cdb = scenario.databases["us_eastcoast"]
+        keys = [r["c_custkey"] for r in local_cdb.table("customer").scan()]
+        assert len(keys) == len(set(keys))
+        source_total = sum(
+            len(scenario.databases[s].table("customer"))
+            for s in ("chicago", "baltimore", "madison")
+        )
+        assert len(keys) < source_total  # overlap existed and was merged
+
+    def test_consolidates_union_of_sources(self, initialized, engine):
+        scenario, _ = initialized
+        engine.handle_event(ProcessEvent("P03", 0.0, stream="A"))
+        local = {
+            r["c_custkey"]
+            for r in scenario.databases["us_eastcoast"].table("customer").scan()
+        }
+        expected = set()
+        for source in ("chicago", "baltimore", "madison"):
+            expected |= {
+                r["c_custkey"]
+                for r in scenario.databases[source].table("customer").scan()
+            }
+        assert local == expected

@@ -1,0 +1,196 @@
+"""Group B processes: data consolidation into the CDB."""
+
+import pytest
+
+from repro.engine import ProcessEvent
+from repro.xmlkit.xpath import xpath_text
+
+
+@pytest.fixture()
+def cdb(initialized):
+    scenario, _ = initialized
+    return scenario.databases["sales_cleaning"]
+
+
+class TestP04:
+    def test_order_and_enriched_customer_loaded(self, initialized, engine,
+                                                factory, cdb):
+        message = factory.vienna_order()
+        orderkey = int(xpath_text(message.xml(), "//Auftrag"))
+        custkey = int(xpath_text(message.xml(), "//Kunde"))
+        record = engine.handle_event(
+            ProcessEvent("P04", 0.0, message=message, stream="B")
+        )
+        assert record.status == "ok"
+        order = cdb.table("orders").get(orderkey)
+        assert order is not None
+        assert order["custkey"] == custkey
+        assert cdb.table("customer").get(custkey) is not None
+        assert len(cdb.table("orderline")) > 0
+
+    def test_total_price_computed_from_lines(self, initialized, engine,
+                                             factory, cdb):
+        message = factory.vienna_order()
+        orderkey = int(xpath_text(message.xml(), "//Auftrag"))
+        engine.handle_event(ProcessEvent("P04", 0.0, message=message, stream="B"))
+        order = cdb.table("orders").get(orderkey)
+        line_sum = sum(
+            l["extendedprice"]
+            for l in cdb.table("orderline").scan()
+            if l["orderkey"] == orderkey
+        )
+        assert order["totalprice"] == line_sum
+
+    def test_enrichment_marks_customer_unintegrated(self, initialized, engine,
+                                                    factory, cdb):
+        message = factory.vienna_order()
+        custkey = int(xpath_text(message.xml(), "//Kunde"))
+        engine.handle_event(ProcessEvent("P04", 0.0, message=message, stream="B"))
+        assert cdb.table("customer").get(custkey)["integrated"] is False
+
+
+class TestEuropeanExtractions:
+    def test_p05_loads_berlin_only(self, initialized, engine, factory, cdb):
+        scenario, population = initialized
+        record = engine.handle_event(ProcessEvent("P05", 0.0, stream="B"))
+        assert record.status == "ok"
+        berlin = set(population.customer_keys["berlin"])
+        loaded = {r["custkey"] for r in cdb.table("customer").scan()}
+        assert berlin <= loaded
+        paris = set(population.customer_keys["paris"])
+        assert not (paris & loaded)
+
+    def test_p06_adds_paris(self, initialized, engine, factory, cdb):
+        _, population = initialized
+        engine.handle_event(ProcessEvent("P05", 0.0, stream="B"))
+        engine.handle_event(ProcessEvent("P06", 1000.0, stream="B"))
+        loaded = {r["custkey"] for r in cdb.table("customer").scan()}
+        assert set(population.customer_keys["paris"]) <= loaded
+
+    def test_p07_trondheim(self, initialized, engine, factory, cdb):
+        _, population = initialized
+        engine.handle_event(ProcessEvent("P07", 0.0, stream="B"))
+        loaded = {r["custkey"] for r in cdb.table("customer").scan()}
+        assert set(population.customer_keys["trondheim"]) <= loaded
+
+    def test_schema_mapping_renames_attributes(self, initialized, engine, cdb):
+        engine.handle_event(ProcessEvent("P05", 0.0, stream="B"))
+        columns = cdb.table("orders").schema.column_names
+        assert "orderkey" in columns  # canonical, not ord_id
+        assert len(cdb.table("orders")) > 0
+
+    def test_movement_data_carried_along(self, initialized, engine, cdb):
+        engine.handle_event(ProcessEvent("P05", 0.0, stream="B"))
+        assert len(cdb.table("orders")) > 0
+        assert len(cdb.table("orderline")) > 0
+        assert len(cdb.table("product")) > 0
+
+
+class TestP08:
+    def test_hongkong_order_loaded(self, initialized, engine, factory, cdb):
+        message = factory.hongkong_order()
+        orderkey = int(xpath_text(message.xml(), "/HKOrder/Id"))
+        record = engine.handle_event(
+            ProcessEvent("P08", 0.0, message=message, stream="B")
+        )
+        assert record.status == "ok"
+        assert cdb.table("orders").get(orderkey) is not None
+
+    def test_semantic_value_mapping(self, initialized, engine, factory, cdb):
+        message = factory.hongkong_order()
+        orderkey = int(xpath_text(message.xml(), "/HKOrder/Id"))
+        hk_status = xpath_text(message.xml(), "/HKOrder/Stat")
+        engine.handle_event(ProcessEvent("P08", 0.0, message=message, stream="B"))
+        stored = cdb.table("orders").get(orderkey)
+        assert stored["status"] == {"OPEN": "O", "FILLED": "F", "PENDING": "P"}[hk_status]
+
+
+class TestP09:
+    def test_asian_tables_merged_into_cdb(self, initialized, engine, cdb):
+        scenario, population = initialized
+        record = engine.handle_event(ProcessEvent("P09", 0.0, stream="B"))
+        assert record.status == "ok"
+        loaded = {r["custkey"] for r in cdb.table("customer").scan()}
+        expected = set(population.customer_keys["beijing"]) | set(
+            population.customer_keys["seoul"]
+        )
+        assert expected <= loaded
+
+    def test_union_distinct_no_duplicates(self, initialized, engine, cdb):
+        engine.handle_event(ProcessEvent("P09", 0.0, stream="B"))
+        keys = [r["orderkey"] for r in cdb.table("orders").scan()]
+        assert len(keys) == len(set(keys))
+
+    def test_xml_work_dominates(self, initialized, engine):
+        """P09 moves large XML result sets: the costliest group-B extract."""
+        p09 = engine.handle_event(ProcessEvent("P09", 0.0, stream="B"))
+        engine.reset_workers()
+        p11 = engine.handle_event(ProcessEvent("P11", 10_000.0, stream="B"))
+        assert p09.costs.processing > p11.costs.processing
+
+
+class TestP10:
+    def test_valid_message_loaded(self, initialized, engine, cdb):
+        _, population = initialized
+        from repro.scenario.messages import MessageFactory
+
+        clean_factory = MessageFactory(population, seed=1, error_rate=0.0)
+        message = clean_factory.sandiego_order()
+        orderkey = int(message.xml().attributes["key"])
+        record = engine.handle_event(
+            ProcessEvent("P10", 0.0, message=message, stream="B")
+        )
+        assert record.status == "ok"
+        assert cdb.table("orders").get(orderkey) is not None
+        assert len(cdb.table("failed_messages")) == 0
+
+    def test_invalid_message_routed_to_failed_data(self, initialized, engine,
+                                                   cdb):
+        _, population = initialized
+        from repro.scenario.messages import MessageFactory
+
+        dirty_factory = MessageFactory(population, seed=1, error_rate=1.0)
+        message = dirty_factory.sandiego_order()
+        record = engine.handle_event(
+            ProcessEvent("P10", 0.0, message=message, stream="B")
+        )
+        assert record.status == "ok"  # the *instance* succeeds
+        assert record.validation_failures == 1
+        assert len(cdb.table("failed_messages")) == 1
+        assert len(cdb.table("orders")) == 0  # nothing loaded
+        failed = cdb.table("failed_messages").scan()[0]
+        assert failed["source"] == "san_diego"
+        assert failed["reason"]
+        assert "<SDOrder" in failed["msg"]
+
+    def test_mixed_stream(self, initialized, engine, cdb, factory):
+        outcomes = []
+        for _ in range(20):
+            message = factory.sandiego_order()
+            engine.handle_event(ProcessEvent("P10", 0.0, message=message,
+                                             stream="B"))
+        assert len(cdb.table("failed_messages")) == factory.sandiego_invalid
+        loaded = len(cdb.table("orders"))
+        assert loaded == factory.sandiego_sent - factory.sandiego_invalid
+
+
+class TestP11:
+    def test_two_phase_consolidation(self, initialized, engine, cdb):
+        scenario, _ = initialized
+        engine.handle_event(ProcessEvent("P03", 0.0, stream="A"))
+        record = engine.handle_event(ProcessEvent("P11", 1000.0, stream="B"))
+        assert record.status == "ok"
+        local = scenario.databases["us_eastcoast"]
+        assert len(cdb.table("orders")) == len(local.table("orders"))
+        cdb_customers = {r["custkey"] for r in cdb.table("customer").scan()}
+        local_customers = {
+            r["c_custkey"] for r in local.table("customer").scan()
+        }
+        assert local_customers <= cdb_customers
+
+    def test_schema_mapping_to_canonical(self, initialized, engine, cdb):
+        engine.handle_event(ProcessEvent("P03", 0.0, stream="A"))
+        engine.handle_event(ProcessEvent("P11", 1000.0, stream="B"))
+        products = cdb.table("product").scan()
+        assert products  # p_partkey -> prodkey etc.
+        assert all("prodkey" in p for p in products)

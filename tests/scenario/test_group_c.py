@@ -1,0 +1,141 @@
+"""Group C: the data-intensive warehouse loads (P12, P13)."""
+
+import re
+
+import pytest
+
+from repro.engine import ProcessEvent
+
+_NAME_RE = re.compile(r"^Customer#\d+$")
+
+
+@pytest.fixture()
+def staged(initialized, engine):
+    """Scenario with the CDB staged: Europe + Asia + America consolidated."""
+    scenario, population = initialized
+    engine.handle_event(ProcessEvent("P03", 0.0, stream="A"))
+    for pid, at in (("P05", 100.0), ("P06", 200.0), ("P07", 300.0),
+                    ("P09", 400.0), ("P11", 500.0)):
+        record = engine.handle_event(ProcessEvent(pid, at, stream="B"))
+        assert record.status == "ok"
+    return scenario, population
+
+
+class TestP12:
+    def test_cleansing_removes_dirt(self, staged, engine):
+        scenario, _ = staged
+        cdb = scenario.databases["sales_cleaning"]
+        dirty_before = [
+            c for c in cdb.table("customer").scan()
+            if not _NAME_RE.match(c["name"] or "")
+        ]
+        assert dirty_before  # the Initializer really planted dirt
+        record = engine.handle_event(ProcessEvent("P12", 1000.0, stream="C"))
+        assert record.status == "ok"
+        dirty_after = [
+            c for c in cdb.table("customer").scan()
+            if not _NAME_RE.match(c["name"] or "")
+        ]
+        assert not dirty_after
+
+    def test_duplicates_eliminated(self, staged, engine):
+        scenario, _ = staged
+        cdb = scenario.databases["sales_cleaning"]
+        engine.handle_event(ProcessEvent("P12", 1000.0, stream="C"))
+        pairs = [(c["address"], c["phone"]) for c in cdb.table("customer").scan()]
+        assert len(pairs) == len(set(pairs))
+
+    def test_clean_master_data_loaded_into_dwh(self, staged, engine):
+        scenario, _ = staged
+        dwh = scenario.databases["dwh"]
+        engine.handle_event(ProcessEvent("P12", 1000.0, stream="C"))
+        assert len(dwh.table("customer")) > 0
+        assert len(dwh.table("product")) > 0
+        assert len(dwh.table("region")) == 3
+        assert len(dwh.table("nation")) > 0
+        assert dwh.check_integrity() == []
+
+    def test_flagged_not_removed(self, staged, engine):
+        """Master data is flagged as integrated but stays in the CDB."""
+        scenario, _ = staged
+        cdb = scenario.databases["sales_cleaning"]
+        before = len(cdb.table("customer"))
+        engine.handle_event(ProcessEvent("P12", 1000.0, stream="C"))
+        customers = cdb.table("customer").scan()
+        assert customers  # not physically removed (minus cleansing losses)
+        assert all(c["integrated"] for c in customers)
+
+    def test_second_run_loads_only_delta(self, staged, engine):
+        scenario, _ = staged
+        dwh = scenario.databases["dwh"]
+        engine.handle_event(ProcessEvent("P12", 1000.0, stream="C"))
+        count_first = len(dwh.table("customer"))
+        engine.reset_workers()
+        record = engine.handle_event(ProcessEvent("P12", 50_000.0, stream="C"))
+        assert record.status == "ok"
+        assert len(dwh.table("customer")) == count_first
+
+
+class TestP13:
+    def _run_c(self, engine):
+        engine.handle_event(ProcessEvent("P12", 1000.0, stream="C"))
+        return engine.handle_event(ProcessEvent("P13", 1010.0, stream="C"))
+
+    def test_movement_data_moves_to_dwh(self, staged, engine):
+        scenario, _ = staged
+        cdb = scenario.databases["sales_cleaning"]
+        dwh = scenario.databases["dwh"]
+        staged_orders = len(cdb.table("orders"))
+        assert staged_orders > 0
+        record = self._run_c(engine)
+        assert record.status == "ok"
+        assert len(dwh.table("orders")) > 0
+        # Delta determination: the CDB movement tables are cleared.
+        assert len(cdb.table("orders")) == 0
+        assert len(cdb.table("orderline")) == 0
+
+    def test_orphans_cleansed_not_loaded(self, staged, engine):
+        scenario, _ = staged
+        cdb = scenario.databases["sales_cleaning"]
+        # Plant an orphan order referencing a non-existent customer.
+        cdb.table("orders").insert(
+            {"orderkey": 999_999_999, "custkey": 888_888_888,
+             "orderdate": "2007-01-01", "status": "O",
+             "priority": "5-LOW", "totalprice": 1}
+        )
+        self._run_c(engine)
+        dwh = scenario.databases["dwh"]
+        assert dwh.table("orders").get(999_999_999) is None
+        assert dwh.check_integrity() == []
+
+    def test_orders_mv_refreshed(self, staged, engine):
+        scenario, _ = staged
+        dwh = scenario.databases["dwh"]
+        view = dwh.materialized_view("OrdersMV")
+        assert not view.is_populated
+        self._run_c(engine)
+        assert view.is_populated
+        assert view.refresh_count == 1
+        assert len(view.snapshot) > 0
+
+    def test_mv_aggregates_revenue_per_nation_year(self, staged, engine):
+        scenario, _ = staged
+        self._run_c(engine)
+        snapshot = scenario.databases["dwh"].materialized_view("OrdersMV").snapshot
+        assert set(snapshot.columns) == {
+            "nation_name", "orderyear", "order_count", "revenue",
+        }
+        total = sum(row["order_count"] for row in snapshot)
+        assert total == len(scenario.databases["dwh"].table("orders"))
+
+    def test_data_intensity_exceeds_message_processes(self, staged, engine,
+                                                      factory):
+        """'At this point, the differences in data set sizes should be
+        noticed': P13 must cost far more than a single P04 message."""
+        record_p13 = self._run_c(engine)
+        engine.reset_workers()
+        record_p04 = engine.handle_event(
+            ProcessEvent("P04", 100_000.0, message=factory.vienna_order(),
+                         stream="B")
+        )
+        assert record_p13.costs.total > 5 * record_p04.costs.total

@@ -1,0 +1,112 @@
+"""The scenario's relational schemas (Figs. 2 and 3, Section III.B)."""
+
+import pytest
+
+from repro.scenario import schemas
+
+
+class TestEuropeSchema:
+    def test_tables(self):
+        names = {t.name for t in schemas.europe_tables()}
+        assert names == {"eu_customer", "eu_product", "eu_order", "eu_orderpos"}
+
+    def test_location_discriminator_everywhere(self):
+        """Berlin and Paris share one database; every table needs the
+        location column the P05/P06 selections filter on."""
+        for table in schemas.europe_tables():
+            assert table.has_column("location")
+            assert not table.column("location").nullable
+
+    def test_normalized_order_positions(self):
+        orderpos = next(
+            t for t in schemas.europe_tables() if t.name == "eu_orderpos"
+        )
+        assert orderpos.primary_key == ("ord_id", "pos_nr")
+
+
+class TestTpchSchema:
+    def test_tpch_naming_convention(self):
+        """Region America 'follows exactly the normalized TPC-H schema'."""
+        for table in schemas.tpch_tables():
+            prefix = {"customer": "c_", "orders": "o_",
+                      "lineitem": "l_", "part": "p_"}[table.name]
+            assert all(c.name.startswith(prefix) for c in table.columns)
+
+    def test_lineitem_composite_key(self):
+        lineitem = next(t for t in schemas.tpch_tables() if t.name == "lineitem")
+        assert lineitem.primary_key == ("l_orderkey", "l_linenumber")
+
+
+class TestSnowflake:
+    def test_cdb_has_staging_extras(self):
+        cdb = {t.name: t for t in schemas.cdb_tables()}
+        assert cdb["customer"].has_column("integrated")
+        assert "failed_messages" in cdb
+
+    def test_dwh_is_clean(self):
+        dwh = {t.name: t for t in schemas.dwh_tables()}
+        assert not dwh["customer"].has_column("integrated")
+        assert "failed_messages" not in dwh
+
+    def test_snowflake_dimension_chain(self):
+        """Fig. 3: product -> productgroup -> productline and
+        city -> nation -> region."""
+        dwh = {t.name: t for t in schemas.dwh_tables()}
+        fk_map = {
+            t.name: {fk.parent_table for fk in t.foreign_keys}
+            for t in dwh.values()
+        }
+        assert "productgroup" in fk_map["product"]
+        assert "productline" in fk_map["productgroup"]
+        assert "nation" in fk_map["city"]
+        assert "region" in fk_map["nation"]
+        assert "city" in fk_map["customer"]
+        assert "customer" in fk_map["orders"]
+        assert "orders" in fk_map["orderline"]
+
+    def test_cdb_orders_have_no_customer_fk(self):
+        """Staging loads movement data child-first; the FK is deferred
+        to the warehouse."""
+        cdb = {t.name: t for t in schemas.cdb_tables()}
+        assert not any(
+            fk.parent_table == "customer" for fk in cdb["orders"].foreign_keys
+        )
+
+
+class TestDataMartVariants:
+    def test_europe_fully_denormalized(self):
+        tables = {t.name for t in schemas.datamart_tables("europe")}
+        assert "dim_product" in tables and "dim_location" in tables
+        assert "productgroup" not in tables and "nation" not in tables
+
+    def test_asia_product_only(self):
+        tables = {t.name for t in schemas.datamart_tables("asia")}
+        assert "dim_product" in tables
+        assert "dim_location" not in tables
+        assert {"region", "nation", "city"} <= tables
+
+    def test_united_states_location_only(self):
+        tables = {t.name for t in schemas.datamart_tables("united_states")}
+        assert "dim_location" in tables
+        assert "dim_product" not in tables
+        assert {"product", "productgroup", "productline"} <= tables
+
+    def test_unknown_mart(self):
+        with pytest.raises(ValueError):
+            schemas.datamart_tables("moon")
+
+    def test_all_marts_carry_movement_tables(self):
+        for mart in ("europe", "asia", "united_states"):
+            names = {t.name for t in schemas.datamart_tables(mart)}
+            assert {"orders", "orderline", "customer"} <= names
+
+
+class TestAsiaTypes:
+    def test_types_cover_all_tables(self):
+        asia_names = {t.name for t in schemas.asia_tables()}
+        assert set(schemas.ASIA_TYPES) == asia_names
+
+    def test_types_cover_all_columns(self):
+        for table in schemas.asia_tables():
+            declared = set(schemas.ASIA_TYPES[table.name])
+            assert declared == set(table.column_names)

@@ -1,0 +1,80 @@
+"""Service registry routing and cost accounting."""
+
+import pytest
+
+from repro.db import Column, Database, TableSchema
+from repro.errors import EndpointNotFound
+from repro.services import (
+    DatabaseService,
+    Envelope,
+    Link,
+    Network,
+    ServiceRegistry,
+)
+
+
+@pytest.fixture()
+def setup():
+    net = Network(default_link=Link(latency=1.0, bandwidth=10.0))
+    net.add_host("IS")
+    registry = ServiceRegistry(net)
+    db = Database("remote")
+    db.create_table(
+        TableSchema("t", [Column("k", "BIGINT", nullable=False)],
+                    primary_key=("k",))
+    )
+    registry.register(DatabaseService("remote", "ES", db))
+    return net, registry, db
+
+
+class TestRouting:
+    def test_register_adds_host(self, setup):
+        net, registry, _ = setup
+        assert net.has_host("ES")
+
+    def test_lookup_unknown(self, setup):
+        _, registry, _ = setup
+        with pytest.raises(EndpointNotFound):
+            registry.lookup("ghost")
+
+    def test_service_names(self, setup):
+        _, registry, _ = setup
+        assert registry.service_names == ["remote"]
+
+    def test_call_round_trip(self, setup):
+        _, registry, db = setup
+        outcome = registry.call(
+            "IS", "remote", Envelope.update_request("t", [{"k": 1}])
+        )
+        assert outcome.response.body == 1
+        assert len(db.table("t")) == 1
+
+
+class TestCostAccounting:
+    def test_both_legs_charged(self, setup):
+        _, registry, _ = setup
+        outcome = registry.call(
+            "IS", "remote", Envelope.update_request("t", [{"k": i} for i in range(10)])
+        )
+        # outbound: 1 + 10/10 = 2.0; inbound: 1 + 1/10 = 1.1
+        assert outcome.communication_cost == pytest.approx(3.1)
+
+    def test_query_response_size_dominates(self, setup):
+        _, registry, db = setup
+        db.insert_many("t", [{"k": i} for i in range(100)])
+        outcome = registry.call("IS", "remote", Envelope.query_request("t"))
+        # outbound 1 + 1/10; inbound 1 + 100/10
+        assert outcome.communication_cost == pytest.approx(12.1)
+
+    def test_external_cost_included(self, setup):
+        _, registry, db = setup
+        db.insert_many("t", [{"k": i} for i in range(20)])
+        db.create_procedure("scan", lambda d: len(d.table("t").scan()))
+        outcome = registry.call("IS", "remote", Envelope.execute_request("scan"))
+        transfer_only = 1 + 1 / 10 + 1 + 1 / 10
+        assert outcome.communication_cost > transfer_only
+
+    def test_calls_made_counter(self, setup):
+        _, registry, _ = setup
+        registry.call("IS", "remote", Envelope.query_request("t"))
+        assert registry.calls_made == 1

@@ -1,0 +1,76 @@
+"""The command-line front-end."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestProcessesCommand:
+    def test_lists_table_1(self, capsys):
+        assert main(["processes"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 16):
+            assert f"P{i:02d}" in out
+        assert "P14_S1" in out
+
+    def test_shows_event_types(self, capsys):
+        main(["processes"])
+        out = capsys.readouterr().out
+        assert "E1" in out and "E2" in out
+
+
+class TestValidateCommand:
+    def test_all_valid(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "INVALID" not in out
+        assert out.count("ok") >= 19
+
+
+class TestScheduleCommand:
+    def test_prints_series(self, capsys):
+        assert main(["schedule", "--period", "0", "--datasize", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "P04: n=  56" in out
+        assert "P10" in out
+
+    def test_time_factor_compresses(self, capsys):
+        main(["schedule", "--period", "0", "--time", "2"])
+        out = capsys.readouterr().out
+        assert "1000.0" in out  # P08's 2000 tu shift at t=2
+
+
+class TestRunCommand:
+    def test_run_one_period(self, capsys, tmp_path):
+        plot = tmp_path / "plot.svg"
+        report = tmp_path / "report.txt"
+        status = main([
+            "run", "--periods", "1", "--quiet", "--seed", "3",
+            "--plot", str(plot), "--report", str(report),
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "verification OK" in out
+        assert "NAVG+" in out
+        assert plot.read_text().startswith("<svg")
+        assert "P04" in report.read_text()
+
+    def test_run_federated(self, capsys):
+        status = main([
+            "run", "--periods", "1", "--engine", "federated", "--quiet",
+        ])
+        assert status == 0
+        assert "federated" in capsys.readouterr().out
+
+    def test_ascii_plot_by_default(self, capsys):
+        main(["run", "--periods", "1"])
+        out = capsys.readouterr().out
+        assert "DIPBench Performance Plot" in out
+
+    def test_bad_distribution_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--distribution", "9"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fly"])

@@ -1,0 +1,41 @@
+"""The shipped examples must keep running (they are documentation)."""
+
+import runpy
+import sys
+import pathlib
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "verification OK" in out
+        assert "NAVG+" in out
+        assert "process instances" in out
+
+    def test_custom_process(self, capsys):
+        out = run_example("custom_process.py", capsys)
+        assert "status=ok" in out
+        assert "store_north price_list" in out
+        assert "fork:fan_out" in out
+
+    def test_data_quality_report(self, capsys):
+        out = run_example("data_quality_report.py", capsys)
+        assert "quality gradient monotone: True" in out
+        assert "failed-data destinations" in out
+
+    def test_examples_exist_and_have_docstrings(self):
+        scripts = sorted(EXAMPLES.glob("*.py"))
+        assert len(scripts) >= 5
+        for script in scripts:
+            text = script.read_text()
+            assert text.startswith('"""'), script.name
+            assert "__main__" in text, script.name

@@ -1,0 +1,112 @@
+"""Virtual clocks and the discrete-event scheduler."""
+
+import pytest
+
+from repro.simtime import EventScheduler, VirtualClock, WallClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now() == 2.5
+
+    def test_advance_to_future(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        assert clock.now() == 10.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = VirtualClock(start=5.0)
+        clock.advance_to(1.0)
+        assert clock.now() == 5.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start=-1)
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.advance(9)
+        clock.reset()
+        assert clock.now() == 0.0
+
+
+class TestWallClock:
+    def test_time_scale_validation(self):
+        with pytest.raises(ValueError):
+            WallClock(time_scale=0)
+
+    def test_advances_monotonically(self):
+        clock = WallClock(time_scale=1000.0)  # 1 tu = 1 microsecond
+        first = clock.now()
+        clock.advance(5.0)
+        assert clock.now() >= first
+
+
+class TestEventScheduler:
+    def test_pops_in_deadline_order(self):
+        sched = EventScheduler()
+        sched.push(5.0, "late")
+        sched.push(1.0, "early")
+        assert sched.pop().payload == "early"
+        assert sched.pop().payload == "late"
+
+    def test_fifo_tie_break(self):
+        sched = EventScheduler()
+        sched.push(1.0, "first")
+        sched.push(1.0, "second")
+        assert [e.payload for e in sched.drain()] == ["first", "second"]
+
+    def test_clock_advances_with_pop(self):
+        sched = EventScheduler()
+        sched.push(3.0, "x")
+        sched.pop()
+        assert sched.clock.now() == 3.0
+
+    def test_push_after(self):
+        sched = EventScheduler()
+        sched.clock.advance(10.0)
+        event = sched.push_after(5.0, "x")
+        assert event.deadline == 15.0
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().push(-1.0, "x")
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventScheduler().pop()
+
+    def test_peek_does_not_remove(self):
+        sched = EventScheduler()
+        sched.push(1.0, "x")
+        assert sched.peek().payload == "x"
+        assert len(sched) == 1
+
+    def test_handler_may_push_more(self):
+        sched = EventScheduler()
+        sched.push(1.0, "seed")
+        seen = []
+
+        def handler(event):
+            seen.append(event.payload)
+            if event.payload == "seed":
+                sched.push_after(1.0, "spawned")
+
+        handled = sched.run(handler)
+        assert handled == 2
+        assert seen == ["seed", "spawned"]
+
+    def test_clear(self):
+        sched = EventScheduler()
+        sched.push(1.0, "x")
+        sched.clear()
+        assert len(sched) == 0

@@ -1,0 +1,170 @@
+"""The Initializer: per-period source-data generation."""
+
+import pytest
+
+from repro.datagen.generators import GeneratorProfile
+from repro.scenario import build_scenario
+from repro.toolsuite import Initializer
+
+
+@pytest.fixture()
+def profile():
+    return GeneratorProfile(customers_base=40, products_base=30,
+                            orders_base=50, duplicate_rate=0.1,
+                            corruption_rate=0.1)
+
+
+class TestInitialization:
+    def test_all_source_systems_populated(self, profile):
+        scenario = build_scenario()
+        init = Initializer(scenario, d=1.0, profile=profile)
+        population = init.initialize_sources(0)
+        assert len(scenario.databases["berlin_paris"].table("eu_customer")) > 0
+        assert len(scenario.databases["trondheim"].table("eu_order")) > 0
+        for source in ("chicago", "baltimore", "madison"):
+            assert len(scenario.databases[source].table("orders")) > 0
+        for ws in ("beijing", "seoul", "hongkong"):
+            assert len(scenario.web_service_databases[ws].table("customer")) > 0
+
+    def test_cdb_reference_data_seeded(self, profile):
+        scenario = build_scenario()
+        Initializer(scenario, profile=profile).initialize_sources(0)
+        cdb = scenario.databases["sales_cleaning"]
+        assert len(cdb.table("region")) == 3
+        assert len(cdb.table("productline")) == 3
+        assert len(cdb.table("productgroup")) == 12
+
+    def test_targets_stay_empty(self, profile):
+        scenario = build_scenario()
+        Initializer(scenario, profile=profile).initialize_sources(0)
+        assert len(scenario.databases["dwh"].table("orders")) == 0
+        assert len(scenario.databases["dm_europe"].table("customer")) == 0
+        assert len(scenario.databases["sales_cleaning"].table("customer")) == 0
+
+    def test_datasize_scales_volume(self, profile):
+        small_scenario = build_scenario()
+        Initializer(small_scenario, d=0.5, profile=profile).initialize_sources(0)
+        large_scenario = build_scenario()
+        Initializer(large_scenario, d=1.0, profile=profile).initialize_sources(0)
+        small_count = len(
+            small_scenario.databases["trondheim"].table("eu_customer")
+        )
+        large_count = len(
+            large_scenario.databases["trondheim"].table("eu_customer")
+        )
+        assert large_count > small_count
+
+    def test_key_ranges_disjoint_across_regions(self, profile):
+        scenario = build_scenario()
+        population = Initializer(scenario, profile=profile).initialize_sources(0)
+        europe = set(population.customer_keys["berlin"]) | set(
+            population.customer_keys["paris"]
+        ) | set(population.customer_keys["trondheim"])
+        asia = set(population.customer_keys["beijing"]) | set(
+            population.customer_keys["seoul"]
+        )
+        america = set(population.customer_keys["chicago"])
+        assert not europe & asia
+        assert not europe & america
+        assert not asia & america
+
+    def test_asian_overlap_exists(self, profile):
+        """Beijing and Seoul must overlap for P09's UNION DISTINCT."""
+        scenario = build_scenario()
+        population = Initializer(scenario, profile=profile).initialize_sources(0)
+        beijing = set(population.customer_keys["beijing"])
+        seoul = set(population.customer_keys["seoul"])
+        assert beijing & seoul
+
+    def test_hongkong_fronts_regional_customers(self, profile):
+        scenario = build_scenario()
+        population = Initializer(scenario, profile=profile).initialize_sources(0)
+        pool = set(population.customer_keys["beijing"]) | set(
+            population.customer_keys["seoul"]
+        )
+        # Hongkong's customers come from the same regional pool.
+        hk = set(population.customer_keys["hongkong"])
+        regional = {
+            c["custkey"]
+            for c in scenario.web_service_databases["hongkong"]
+            .table("customer").scan()
+        }
+        assert hk == regional
+
+    def test_dirt_planted_in_europe(self):
+        import re
+
+        from repro.datagen.generators import GeneratorProfile
+
+        dirty_profile = GeneratorProfile(
+            customers_base=60, products_base=40, orders_base=80,
+            duplicate_rate=0.2, corruption_rate=0.2,
+        )
+        scenario = build_scenario()
+        Initializer(scenario, profile=dirty_profile, seed=3).initialize_sources(0)
+        names = [
+            r["cust_name"]
+            for db in ("berlin_paris", "trondheim")
+            for r in scenario.databases[db].table("eu_customer").scan()
+        ]
+        dirty = [n for n in names if not re.match(r"^Customer#\d+$", n)]
+        assert dirty  # duplicates/corruption present for P12 to clean
+
+    def test_movement_errors_planted(self):
+        from repro.datagen.generators import GeneratorProfile
+
+        dirty_profile = GeneratorProfile(
+            customers_base=60, products_base=40, orders_base=120,
+            duplicate_rate=0.2, corruption_rate=0.2,
+        )
+        scenario = build_scenario()
+        Initializer(scenario, profile=dirty_profile, seed=3).initialize_sources(0)
+        bad_eu = [
+            r for r in scenario.databases["berlin_paris"]
+            .table("eu_orderpos").scan() if r["pos_quantity"] <= 0
+        ]
+        bad_asia = [
+            r for r in scenario.web_service_databases["beijing"]
+            .table("orderline").scan() if r["quantity"] <= 0
+        ]
+        assert bad_eu or bad_asia  # sp_runMovementDataCleansing has work
+
+    def test_catalog_split_between_berlin_and_paris(self, profile):
+        scenario = build_scenario()
+        Initializer(scenario, profile=profile).initialize_sources(0)
+        rows = scenario.databases["berlin_paris"].table("eu_product").scan()
+        berlin = {r["prod_id"] for r in rows if r["location"] == "Berlin"}
+        paris = {r["prod_id"] for r in rows if r["location"] == "Paris"}
+        assert berlin and paris
+        assert not berlin & paris
+
+    def test_uninitialize_then_reinitialize(self, profile):
+        scenario = build_scenario()
+        init = Initializer(scenario, profile=profile)
+        init.initialize_sources(0)
+        init.uninitialize_all()
+        assert len(scenario.databases["trondheim"].table("eu_customer")) == 0
+        init.initialize_sources(1)
+        assert len(scenario.databases["trondheim"].table("eu_customer")) > 0
+
+    def test_periods_differ_but_are_reproducible(self, profile):
+        def keys(period, seed=42):
+            scenario = build_scenario()
+            init = Initializer(scenario, profile=profile, seed=seed)
+            population = init.initialize_sources(period)
+            return population.customer_keys["beijing"]
+
+        assert keys(0) == keys(0)
+        assert keys(0) != keys(1)
+
+    def test_distribution_factor_changes_data(self, profile):
+        def order_custkeys(f):
+            scenario = build_scenario()
+            init = Initializer(scenario, f=f, profile=profile, seed=1)
+            init.initialize_sources(0)
+            return [
+                r["ord_customer"]
+                for r in scenario.databases["trondheim"].table("eu_order").scan()
+            ]
+
+        assert order_custkeys(0) != order_custkeys(1)

@@ -1,0 +1,50 @@
+"""Per-period measured series (the Fig. 8 counterpart on real runs)."""
+
+import pytest
+
+from repro.engine import MtmInterpreterEngine
+from repro.scenario import build_scenario
+from repro.toolsuite import BenchmarkClient, Monitor, ScaleFactors
+
+
+@pytest.fixture(scope="module")
+def multi_period_client():
+    scenario = build_scenario()
+    engine = MtmInterpreterEngine(scenario.registry)
+    client = BenchmarkClient(
+        scenario, engine, ScaleFactors(datasize=1.0), periods=3, seed=5
+    )
+    client.run(verify=False)
+    return client
+
+
+class TestPeriodSeries:
+    def test_p01_instance_count_decreases(self, multi_period_client):
+        """Fig. 8 left, measured: the decreasing master-data series."""
+        series = multi_period_client.monitor.period_series("P01")
+        periods = [p for p, _, _ in series]
+        counts = [n for _, n, _ in series]
+        assert periods == [0, 1, 2]
+        assert counts[0] >= counts[-1]
+        # At d=1.0 the formula gives floor((100-k)/2)+1 instances.
+        assert counts[0] == 51
+        assert counts[2] == 50
+
+    def test_e2_types_once_per_period(self, multi_period_client):
+        series = multi_period_client.monitor.period_series("P13")
+        assert [n for _, n, _ in series] == [1, 1, 1]
+
+    def test_costs_positive(self, multi_period_client):
+        for _, _, navg in multi_period_client.monitor.period_series("P04"):
+            assert navg > 0
+
+    def test_unknown_type_empty(self, multi_period_client):
+        assert multi_period_client.monitor.period_series("P99") == []
+
+    def test_time_scale_applied(self, multi_period_client):
+        base = multi_period_client.monitor.period_series("P04")
+        scaled_monitor = Monitor(time_scale=3.0)
+        scaled_monitor.absorb(multi_period_client.monitor.records)
+        scaled = scaled_monitor.period_series("P04")
+        for (_, _, a), (_, _, b) in zip(base, scaled):
+            assert b == pytest.approx(3 * a)

@@ -1,0 +1,75 @@
+"""Relation ↔ generic result-set XML converters."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.db.relation import Relation
+from repro.errors import XmlParseError
+from repro.xmlkit.convert import (
+    relation_to_resultset,
+    resultset_to_rows,
+    rows_to_resultset,
+)
+from repro.xmlkit.doc import parse_xml, serialize_xml
+
+
+class TestSerialize:
+    def test_shape(self):
+        doc = rows_to_resultset(("k", "v"), [{"k": 1, "v": "x"}], table="t")
+        assert doc.tag == "ResultSet"
+        assert doc.attributes["table"] == "t"
+        assert doc.find("Row").find("k").text == "1"
+
+    def test_null_marker(self):
+        doc = rows_to_resultset(("k",), [{"k": None}])
+        cell = doc.find("Row").find("k")
+        assert cell.attributes["null"] == "true"
+        assert cell.text is None
+
+    def test_dates_iso_rendered(self):
+        doc = rows_to_resultset(("d",), [{"d": datetime.date(2007, 3, 9)}])
+        assert doc.find("Row").find("d").text == "2007-03-09"
+
+    def test_from_relation(self):
+        rel = Relation(("a",), [{"a": 1}, {"a": 2}])
+        doc = relation_to_resultset(rel, "numbers")
+        assert len(doc.find_all("Row")) == 2
+
+
+class TestParse:
+    def test_round_trip_typed(self):
+        rows = [
+            {"k": 7, "price": Decimal("1.50"), "d": datetime.date(2007, 1, 2),
+             "name": "x", "flag": True},
+            {"k": 8, "price": None, "d": None, "name": None, "flag": False},
+        ]
+        doc = rows_to_resultset(("k", "price", "d", "name", "flag"), rows)
+        types = {"k": "BIGINT", "price": "DECIMAL", "d": "DATE",
+                 "name": "VARCHAR", "flag": "BOOLEAN"}
+        assert resultset_to_rows(doc, types) == rows
+
+    def test_untyped_columns_stay_strings(self):
+        doc = rows_to_resultset(("k",), [{"k": 5}])
+        assert resultset_to_rows(doc) == [{"k": "5"}]
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(XmlParseError):
+            resultset_to_rows(parse_xml("<NotAResultSet/>"))
+
+    def test_survives_serialization_round_trip(self):
+        doc = rows_to_resultset(("k", "v"), [{"k": 1, "v": None}], "t")
+        reparsed = parse_xml(serialize_xml(doc))
+        assert resultset_to_rows(reparsed, {"k": "INTEGER"}) == [
+            {"k": 1, "v": None}
+        ]
+
+    def test_double_and_timestamp_types(self):
+        doc = rows_to_resultset(
+            ("x", "ts"),
+            [{"x": 1.5, "ts": datetime.datetime(2007, 1, 2, 3, 4)}],
+        )
+        parsed = resultset_to_rows(doc, {"x": "DOUBLE", "ts": "TIMESTAMP"})
+        assert parsed[0]["x"] == 1.5
+        assert parsed[0]["ts"] == datetime.datetime(2007, 1, 2, 3, 4)

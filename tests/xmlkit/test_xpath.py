@@ -1,0 +1,108 @@
+"""XPath subset evaluation."""
+
+import pytest
+
+from repro.errors import XPathError
+from repro.xmlkit.doc import parse_xml
+from repro.xmlkit.xpath import xpath_all, xpath_first, xpath_text
+
+
+@pytest.fixture()
+def doc():
+    return parse_xml(
+        """<catalog version="2">
+             <group name="g1">
+               <item sku="1"><price>10</price></item>
+               <item sku="2"><price>20</price></item>
+             </group>
+             <group name="g2">
+               <item sku="3"><price>30</price></item>
+             </group>
+             <price>0</price>
+           </catalog>"""
+    )
+
+
+class TestAbsolutePaths:
+    def test_root_match(self, doc):
+        assert xpath_all(doc, "/catalog") == [doc]
+
+    def test_root_mismatch(self, doc):
+        assert xpath_all(doc, "/wrong") == []
+
+    def test_nested(self, doc):
+        assert len(xpath_all(doc, "/catalog/group/item")) == 3
+
+    def test_attribute_step(self, doc):
+        assert xpath_all(doc, "/catalog/@version") == ["2"]
+
+    def test_text_step(self, doc):
+        assert xpath_all(doc, "/catalog/group/item/price/text()") == [
+            "10", "20", "30",
+        ]
+
+
+class TestDescendantPaths:
+    def test_double_slash_document_order(self, doc):
+        assert xpath_all(doc, "//price/text()") == ["10", "20", "30", "0"]
+
+    def test_inner_descendant(self, doc):
+        assert len(xpath_all(doc, "/catalog//price")) == 4
+
+    def test_descendant_no_duplicates(self):
+        d = parse_xml("<a><b><b><c/></b></b></a>")
+        assert len(xpath_all(d, "//c")) == 1
+
+
+class TestRelativePaths:
+    def test_relative_from_element(self, doc):
+        group = xpath_first(doc, "/catalog/group")
+        assert len(xpath_all(group, "item")) == 2
+
+    def test_relative_with_depth(self, doc):
+        group = xpath_first(doc, "/catalog/group")
+        assert xpath_all(group, "item/price/text()") == ["10", "20"]
+
+
+class TestPredicates:
+    def test_positional(self, doc):
+        item = xpath_first(doc, "//item[2]")
+        assert item.attributes["sku"] == "2"
+
+    def test_equality_on_child_text(self, doc):
+        items = xpath_all(doc, "//item[price='30']")
+        assert len(items) == 1
+        assert items[0].attributes["sku"] == "3"
+
+    def test_wildcard(self, doc):
+        assert len(xpath_all(doc, "/catalog/*")) == 3
+
+    def test_unsupported_predicate(self, doc):
+        with pytest.raises(XPathError):
+            xpath_all(doc, "//item[last()]")
+
+    def test_position_zero_rejected(self, doc):
+        with pytest.raises(XPathError):
+            xpath_all(doc, "//item[0]")
+
+
+class TestHelpers:
+    def test_xpath_first_none(self, doc):
+        assert xpath_first(doc, "//ghost") is None
+
+    def test_xpath_text_element(self, doc):
+        assert xpath_text(doc, "//price") == "10"
+
+    def test_xpath_text_attribute(self, doc):
+        assert xpath_text(doc, "/catalog/@version") == "2"
+
+    def test_xpath_text_default(self, doc):
+        assert xpath_text(doc, "//ghost", "dflt") == "dflt"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", ["", "/", "//", "a//", "a/[1]", "/a/b[",
+                                     "text()/a", "@x/a"])
+    def test_rejected_paths(self, doc, bad):
+        with pytest.raises(XPathError):
+            xpath_all(doc, bad)
