@@ -7,6 +7,8 @@ Usage (also available as ``python -m repro``)::
 
     python -m repro run --engine federated --datasize 0.05 --periods 5
     python -m repro run --plot plot.svg --report report.txt
+    python -m repro run --trace-out trace.json --metrics-out metrics.prom
+    python -m repro trace --engine interpreter --periods 2 --out trace.json
     python -m repro schedule --period 0 --datasize 0.05
     python -m repro processes
     python -m repro validate
@@ -28,6 +30,7 @@ from repro.engine import (
     MtmInterpreterEngine,
 )
 from repro.mtm.process import validate_definition
+from repro.observability import Observability
 from repro.scenario import PROCESS_TABLE, build_processes, build_scenario
 from repro.toolsuite import BenchmarkClient, ScaleFactors
 from repro.toolsuite.schedule import build_schedule
@@ -70,6 +73,36 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write the metric table to a file")
     run.add_argument("--quiet", action="store_true",
                      help="suppress the ASCII plot")
+    run.add_argument("--trace-out", metavar="FILE.json",
+                     help="write a Chrome trace_event JSON of the run "
+                          "(open in chrome://tracing or ui.perfetto.dev)")
+    run.add_argument("--metrics-out", metavar="FILE.prom",
+                     help="write the run's metrics registry as "
+                          "Prometheus text")
+
+    trace = commands.add_parser(
+        "trace",
+        help="run the benchmark with tracing on and export the span tree",
+    )
+    trace.add_argument("--engine", choices=sorted(ENGINES),
+                       default="interpreter")
+    trace.add_argument("--datasize", type=float, default=0.05)
+    trace.add_argument("--time", type=float, default=1.0)
+    trace.add_argument("--distribution", type=int, default=0,
+                       choices=(0, 1, 2, 3))
+    trace.add_argument("--periods", type=int, default=2)
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument("--workers", type=int, default=4)
+    trace.add_argument("--jitter", type=float, default=0.0)
+    trace.add_argument("--out", metavar="FILE", default="trace.json",
+                       help="trace output path (default trace.json)")
+    trace.add_argument("--format", choices=("chrome", "jsonl"),
+                       default="chrome",
+                       help="chrome trace_event JSON (default) or one "
+                            "span per line as JSONL")
+    trace.add_argument("--metrics-out", metavar="FILE.prom",
+                       help="also write the metrics registry as "
+                            "Prometheus text")
 
     schedule = commands.add_parser(
         "schedule", help="print the Table II event series for one period"
@@ -93,8 +126,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     engine = ENGINES[args.engine](
         scenario.registry, worker_count=args.workers
     )
+    observability = (
+        Observability() if (args.trace_out or args.metrics_out) else None
+    )
     client = BenchmarkClient(
-        scenario, engine, factors, periods=args.periods, seed=args.seed
+        scenario, engine, factors, periods=args.periods, seed=args.seed,
+        observability=observability,
     )
     result = client.run()
 
@@ -120,6 +157,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.plot:
         client.monitor.save_plot(args.plot)
         print(f"plot written to {args.plot}")
+    if args.trace_out:
+        observability.write_chrome_trace(args.trace_out)
+        print(f"trace written to {args.trace_out} "
+              f"({len(observability.tracer.spans)} spans; open in "
+              "chrome://tracing or ui.perfetto.dev)")
+    if args.metrics_out:
+        observability.write_prometheus(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    return 0 if result.verification.ok else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    factors = ScaleFactors(
+        datasize=args.datasize, time=args.time, distribution=args.distribution
+    )
+    scenario = build_scenario(jitter=args.jitter, seed=args.seed)
+    engine = ENGINES[args.engine](
+        scenario.registry, worker_count=args.workers
+    )
+    observability = Observability()
+    client = BenchmarkClient(
+        scenario, engine, factors, periods=args.periods, seed=args.seed,
+        observability=observability,
+    )
+    result = client.run()
+
+    if args.format == "chrome":
+        observability.write_chrome_trace(args.out)
+    else:
+        observability.write_spans_jsonl(args.out)
+    tracer = observability.tracer
+    instance_spans = tracer.spans_of_kind("instance")
+    print(
+        f"engine={result.engine_name} periods={result.periods} "
+        f"instances={result.total_instances} errors={result.error_instances}"
+    )
+    print(
+        f"{len(tracer.spans)} spans "
+        f"({len(instance_spans)} instances, "
+        f"{len(tracer.spans_of_kind('operator'))} operators, "
+        f"{len(tracer.spans_of_kind('network'))} network) "
+        f"written to {args.out} [{args.format}]"
+    )
+    if args.format == "chrome":
+        print("open in chrome://tracing or https://ui.perfetto.dev")
+    if args.metrics_out:
+        observability.write_prometheus(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
     return 0 if result.verification.ok else 1
 
 
@@ -173,6 +258,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {
         "run": _cmd_run,
+        "trace": _cmd_trace,
         "schedule": _cmd_schedule,
         "processes": _cmd_processes,
         "validate": _cmd_validate,

@@ -17,8 +17,15 @@ from typing import Iterable
 
 from repro.errors import DeploymentError, EngineError
 from repro.engine.costs import CostBreakdown, CostParameters
+from repro.mtm.context import ExecutionContext
 from repro.mtm.message import Message
 from repro.mtm.process import EventType, ProcessType, assert_valid_definition
+from repro.observability import (
+    ExecutionProfile,
+    Observability,
+    OperatorObservation,
+    QUEUE_WAIT_BUCKETS,
+)
 from repro.services.registry import ServiceRegistry
 
 
@@ -96,6 +103,7 @@ class IntegrationEngine:
         costs: CostParameters | None = None,
         worker_count: int = 4,
         parallel_efficiency: float = 1.0,
+        observability: Observability | None = None,
     ):
         if worker_count < 1:
             raise EngineError(f"worker count must be >= 1, got {worker_count}")
@@ -125,6 +133,52 @@ class IntegrationEngine:
         #: self-management effect bounded).
         self.management_queue_cap = 16
         self.records: list[InstanceRecord] = []
+        #: Execution profile of the most recent ``_execute_instance``,
+        #: captured by subclasses via :meth:`_capture_profile`.
+        self._last_profile: ExecutionProfile | None = None
+        self.observability = observability
+
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def observability(self) -> Observability:
+        return self._observability
+
+    @observability.setter
+    def observability(self, obs: Observability | None) -> None:
+        """Attach (or detach with None) the run's observability bundle.
+
+        The BenchmarkClient assigns this after construction, so metric
+        handles are re-bound here rather than in ``__init__``.
+        """
+        self._observability = obs if obs is not None else Observability.disabled()
+        metrics = self._observability.metrics
+        self._m_queue_wait = metrics.histogram(
+            "engine_queue_wait",
+            buckets=QUEUE_WAIT_BUCKETS,
+            help="Instance queue wait (start - arrival) in engine units",
+        )
+        self._m_operator_cost = metrics.histogram(
+            "engine_operator_cost",
+            help="Priced cost of one leaf operator in engine units",
+        )
+        self._m_operators = metrics.counter(
+            "engine_operators_total", help="Leaf operators executed"
+        )
+
+    def _enable_profiling(self, context: ExecutionContext) -> None:
+        """Arm the context's operator/network logs when observing."""
+        if self._observability.enabled:
+            context.operator_log = []
+            context.network_log = []
+
+    def _capture_profile(self, context: ExecutionContext) -> None:
+        """Stash the context's logs for the span emission in handle_event."""
+        if context.operator_log is not None:
+            self._last_profile = ExecutionProfile(
+                operators=context.operator_log,
+                network_calls=context.network_log or [],
+            )
 
     # -- deployment -----------------------------------------------------------
 
@@ -213,6 +267,8 @@ class IntegrationEngine:
             )
         queue_length = self._queue_length(event.deadline)
         status, error = "ok", ""
+        inbound_cost = 0.0
+        self._last_profile = None
         try:
             costs, operators, failures = self._execute_instance(
                 process, event, queue_length
@@ -222,16 +278,19 @@ class IntegrationEngine:
             if event.message is not None and self.registry.network.has_host(
                 self.message_source_host
             ):
-                costs.communication += self.registry.network.transfer_cost(
+                inbound_cost = self.registry.network.transfer_cost(
                     self.message_source_host, self.host,
                     event.message.size_units,
                 )
+                costs.communication += inbound_cost
         except Exception as exc:  # instance failure, not engine crash
             costs = CostBreakdown(
                 management=self.cost_parameters.management_cost(queue_length)
             )
             operators, failures = 0, 0
             status, error = "error", f"{type(exc).__name__}: {exc}"
+            inbound_cost = 0.0
+            self._last_profile = None
         start, completion = self._admit(
             event.deadline, costs.management + costs.processing + costs.communication
         )
@@ -251,12 +310,136 @@ class IntegrationEngine:
             validation_failures=failures,
         )
         self.records.append(record)
+        if self._observability.enabled:
+            self._observe_instance(record, self._last_profile, inbound_cost)
         return record
 
     def _execute_instance(
         self, process: ProcessType, event: ProcessEvent, queue_length: int
     ) -> tuple[CostBreakdown, int, int]:
         raise NotImplementedError
+
+    # -- span/metric emission ------------------------------------------------------
+
+    def _operator_weight(self, observation: OperatorObservation) -> float:
+        """Priced cost of one leaf operator (processing + communication)."""
+        try:
+            priced = self.cost_parameters.processing_cost(observation.work)
+        except EngineError:  # unknown work kinds from custom operators
+            priced = 0.0
+        return priced + observation.communication
+
+    def _observe_instance(
+        self,
+        record: InstanceRecord,
+        profile: ExecutionProfile | None,
+        inbound_cost: float,
+    ) -> None:
+        """Emit the instance span tree plus run-wide metrics.
+
+        Child spans are laid out inside the instance's service window
+        proportionally to each leaf operator's priced cost, so the
+        virtual-time layout is deterministic and internally consistent
+        (children nest inside parents, durations sum to the window).
+        """
+        obs = self._observability
+        operators = profile.operators if profile is not None else []
+        weights = [self._operator_weight(op) for op in operators]
+
+        metrics = obs.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "engine_instances_total",
+                help="Process instances executed",
+                labels={
+                    "engine": self.engine_name,
+                    "process": record.process_id,
+                    "status": record.status,
+                },
+            ).inc()
+            self._m_queue_wait.observe(record.wait)
+            if record.operators_executed:
+                self._m_operators.inc(record.operators_executed)
+            for weight in weights:
+                self._m_operator_cost.observe(weight)
+
+        tracer = obs.tracer
+        if not tracer.enabled:
+            return
+        span = tracer.begin(
+            f"{record.process_id}#{record.instance_id}",
+            start=record.arrival,
+            kind="instance",
+            attributes={
+                "process": record.process_id,
+                "period": record.period,
+                "stream": record.stream,
+                "engine": self.engine_name,
+                "queue_length": record.queue_length_at_arrival,
+                "operators": record.operators_executed,
+                "cost": record.normalized_cost,
+            },
+        )
+        if record.start > record.arrival:
+            tracer.record(
+                "queue-wait", record.arrival, record.start,
+                kind="queue", parent=span,
+            )
+        cursor = record.start
+        if record.costs.management > 0:
+            tracer.record(
+                "management", cursor, cursor + record.costs.management,
+                kind="management", parent=span,
+            )
+            cursor += record.costs.management
+        if inbound_cost > 0:
+            tracer.record(
+                f"deliver:{self.message_source_host}->{self.host}",
+                cursor, cursor + inbound_cost,
+                kind="network", parent=span,
+                attributes={"cost": inbound_cost},
+            )
+            cursor += inbound_cost
+        window = record.completion - cursor
+        if operators and window > 0:
+            total = sum(weights)
+            if total <= 0:
+                weights = [1.0] * len(operators)
+                total = float(len(operators))
+            for observation, weight in zip(operators, weights):
+                share = window * (weight / total)
+                op_span = tracer.record(
+                    f"{observation.kind}:{observation.name}",
+                    cursor, cursor + share,
+                    kind="operator", parent=span,
+                    attributes={
+                        "communication": observation.communication,
+                        **{f"work_{k}": v for k, v in observation.work.items()},
+                    },
+                )
+                calls = observation.network_calls
+                if calls and share > 0:
+                    call_total = sum(c.cost for c in calls)
+                    call_cursor = cursor
+                    for call in calls:
+                        call_share = (
+                            share * (call.cost / call_total)
+                            if call_total > 0
+                            else share / len(calls)
+                        )
+                        tracer.record(
+                            f"call:{call.service}",
+                            call_cursor, call_cursor + call_share,
+                            kind="network", parent=op_span,
+                            attributes={
+                                "operation": call.operation,
+                                "cost": call.cost,
+                                "payload_units": call.payload_units,
+                            },
+                        )
+                        call_cursor += call_share
+                cursor += share
+        span.end(record.completion, status=record.status, error=record.error)
 
     # -- statistics ---------------------------------------------------------------
 

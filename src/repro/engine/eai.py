@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from repro.engine.costs import CostParameters
 from repro.engine.interpreter import MtmInterpreterEngine
+from repro.observability import Observability
 from repro.services.registry import ServiceRegistry
 
 #: Cost profile of a message-oriented EAI server: native XML pipeline
@@ -72,6 +73,7 @@ class EaiEngine(MtmInterpreterEngine):
         worker_count: int = 8,
         parallel_efficiency: float = 1.0,
         trace: bool = False,
+        observability: Observability | None = None,
     ):
         super().__init__(
             registry,
@@ -80,6 +82,7 @@ class EaiEngine(MtmInterpreterEngine):
             worker_count,
             parallel_efficiency,
             trace,
+            observability=observability,
         )
 
 
@@ -102,6 +105,7 @@ class EtlEngine(MtmInterpreterEngine):
         worker_count: int = 2,
         parallel_efficiency: float = 0.8,
         trace: bool = False,
+        observability: Observability | None = None,
     ):
         super().__init__(
             registry,
@@ -110,6 +114,7 @@ class EtlEngine(MtmInterpreterEngine):
             worker_count,
             parallel_efficiency,
             trace,
+            observability=observability,
         )
 
     def _execute_instance(self, process, event, queue_length):

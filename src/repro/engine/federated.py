@@ -31,6 +31,7 @@ from repro.engine.costs import CostBreakdown, FEDERATED_COSTS, CostParameters
 from repro.mtm.context import WORK_XML, ExecutionContext
 from repro.mtm.message import Message
 from repro.mtm.process import EventType, ProcessType
+from repro.observability import Observability
 from repro.services.registry import ServiceRegistry
 from repro.xmlkit.doc import parse_xml, serialize_xml
 
@@ -48,6 +49,7 @@ class FederatedEngine(IntegrationEngine):
         worker_count: int = 4,
         parallel_efficiency: float = 0.6,
         trace: bool = False,
+        observability: Observability | None = None,
     ):
         super().__init__(
             registry,
@@ -55,6 +57,7 @@ class FederatedEngine(IntegrationEngine):
             costs or FEDERATED_COSTS,
             worker_count,
             parallel_efficiency,
+            observability=observability,
         )
         #: The engine's own catalog: queue tables, triggers, procedures.
         self.internal_db = Database("federation_catalog")
@@ -164,6 +167,7 @@ class FederatedEngine(IntegrationEngine):
         self, process: ProcessType, event: ProcessEvent, queue_length: int
     ) -> tuple[CostBreakdown, int, int]:
         context = self._new_context()
+        self._enable_profiling(context)
         self._active_context = context
         try:
             if event.message is not None:
@@ -173,6 +177,7 @@ class FederatedEngine(IntegrationEngine):
                 self.internal_db.call_procedure(process.process_id)
         finally:
             self._active_context = None
+        self._capture_profile(context)
         if self.trace:
             self.traces.append((process.process_id, context.trace_log))
         management = self.cost_parameters.management_cost(queue_length)

@@ -12,6 +12,7 @@ from repro.engine.costs import CostBreakdown, INTERPRETER_COSTS, CostParameters
 from repro.mtm.context import ExecutionContext
 from repro.mtm.message import Message
 from repro.mtm.process import ProcessType
+from repro.observability import Observability
 from repro.services.registry import ServiceRegistry
 
 
@@ -31,6 +32,7 @@ class MtmInterpreterEngine(IntegrationEngine):
         worker_count: int = 4,
         parallel_efficiency: float = 1.0,
         trace: bool = False,
+        observability: Observability | None = None,
     ):
         super().__init__(
             registry,
@@ -38,6 +40,7 @@ class MtmInterpreterEngine(IntegrationEngine):
             costs or INTERPRETER_COSTS,
             worker_count,
             parallel_efficiency,
+            observability=observability,
         )
         self.trace = trace
         #: Trace logs of completed instances, when tracing is on.
@@ -78,9 +81,11 @@ class MtmInterpreterEngine(IntegrationEngine):
         self, process: ProcessType, event: ProcessEvent, queue_length: int
     ) -> tuple[CostBreakdown, int, int]:
         context = self._new_context()
+        self._enable_profiling(context)
         if event.message is not None:
             context.set("__in", event.message)
         process.root._run(context)
+        self._capture_profile(context)
         if self.trace:
             self.traces.append((process.process_id, context.trace_log))
         costs = CostBreakdown(

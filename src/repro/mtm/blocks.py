@@ -27,6 +27,7 @@ class Sequence(Operator):
     """
 
     kind = "sequence"
+    profile_leaf = False
 
     def __init__(self, steps: Sequence[Operator], name: str = ""):
         if not steps:
@@ -64,6 +65,7 @@ class Switch(Operator):
     """
 
     kind = "switch"
+    profile_leaf = False
 
     def __init__(
         self,
@@ -110,6 +112,7 @@ class Fork(Operator):
     """
 
     kind = "fork"
+    profile_leaf = False
 
     def __init__(self, branches: Sequence[Operator], name: str = ""):
         if len(branches) < 2:
@@ -185,6 +188,7 @@ class Subprocess(Operator):
     """
 
     kind = "subprocess"
+    profile_leaf = False
 
     def __init__(
         self,

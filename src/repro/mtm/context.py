@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ProcessRuntimeError
 from repro.mtm.message import Message
+from repro.observability.profile import NetworkObservation, OperatorObservation
 from repro.services.endpoints import Envelope
 from repro.services.registry import ServiceRegistry
 
@@ -55,6 +56,11 @@ class ExecutionContext:
         self.trace_log: list[str] = []
         #: Validation failures routed to failed-data destinations (P10).
         self.validation_failures: list[list[str]] = []
+        #: Observability hooks: when an engine runs with tracing/metrics
+        #: on, it replaces these with lists and the operators/service
+        #: calls log themselves (see repro.observability.profile).
+        self.operator_log: list[OperatorObservation] | None = None
+        self.network_log: list[NetworkObservation] | None = None
 
     # -- variables -------------------------------------------------------------
 
@@ -89,6 +95,16 @@ class ExecutionContext:
         """Invoke an external service; the transfer cost lands in C_c."""
         outcome = self.registry.call(self.caller_host, service, request)
         self.charge_communication(outcome.communication_cost)
+        if self.network_log is not None:
+            self.network_log.append(
+                NetworkObservation(
+                    service=service,
+                    operation=request.operation,
+                    cost=outcome.communication_cost,
+                    payload_units=request.payload_units
+                    + outcome.response.payload_units,
+                )
+            )
         return outcome.response
 
     def run_subprocess(self, process_id: str, message: Message | None) -> Message | None:

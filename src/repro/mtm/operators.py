@@ -24,6 +24,7 @@ from repro.mtm.context import (
     ExecutionContext,
 )
 from repro.mtm.message import Message
+from repro.observability.profile import OperatorObservation
 from repro.services.endpoints import Envelope
 from repro.xmlkit.convert import resultset_to_rows, rows_to_resultset
 from repro.xmlkit.stx import Stylesheet
@@ -36,6 +37,11 @@ class Operator:
 
     #: Class-level operator kind for introspection/plots.
     kind = "operator"
+
+    #: Whether this operator is an observability leaf: structured blocks
+    #: (Sequence/Switch/Fork/Subprocess) run nested operators that log
+    #: themselves, so logging the block too would double-count its work.
+    profile_leaf = True
 
     def __init__(self, name: str = ""):
         self.name = name or type(self).__name__.lower()
@@ -57,7 +63,33 @@ class Operator:
     def _run(self, context: ExecutionContext) -> None:
         context.operators_executed += 1
         context.trace(f"{self.kind}:{self.name}")
-        self.execute(context)
+        log = context.operator_log
+        if log is None or not self.profile_leaf:
+            self.execute(context)
+            return
+        work_before = dict(context.work_units)
+        communication_before = context.communication_cost
+        network_log = context.network_log
+        calls_before = len(network_log) if network_log is not None else 0
+        try:
+            self.execute(context)
+        finally:
+            log.append(
+                OperatorObservation(
+                    kind=self.kind,
+                    name=self.name,
+                    work={
+                        kind: context.work_units[kind] - work_before.get(kind, 0.0)
+                        for kind in context.work_units
+                        if context.work_units[kind] != work_before.get(kind, 0.0)
+                    },
+                    communication=context.communication_cost
+                    - communication_before,
+                    network_calls=list(network_log[calls_before:])
+                    if network_log is not None
+                    else [],
+                )
+            )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,76 @@
+"""repro.observability: span tracing, run-wide metrics, exporters.
+
+The benchmark's Monitor (Section VI) only sees finished instance
+records; this package makes the *inside* of a run visible — operator
+execution, DB/network calls, queue waits — as hierarchical spans on the
+virtual timeline plus a shared metrics registry, with deterministic
+exporters (JSONL spans, Chrome ``trace_event`` JSON for Perfetto, and
+Prometheus text).
+
+Quick start::
+
+    from repro.observability import Observability
+
+    obs = Observability()
+    client = BenchmarkClient(scenario, engine, observability=obs)
+    client.run()
+    obs.write_chrome_trace("trace.json")   # open in ui.perfetto.dev
+    print(obs.prometheus())
+"""
+
+from repro.observability.context import DISABLED, Observability
+from repro.observability.export import (
+    export_chrome_trace,
+    export_prometheus,
+    export_spans_jsonl,
+)
+from repro.observability.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    ObservabilityError,
+    PAYLOAD_BUCKETS,
+    QUEUE_WAIT_BUCKETS,
+)
+from repro.observability.profile import (
+    ExecutionProfile,
+    NetworkObservation,
+    OperatorObservation,
+)
+from repro.observability.tracer import (
+    NullSpan,
+    NullTracer,
+    Span,
+    STATUS_ERROR,
+    STATUS_OK,
+    Tracer,
+)
+
+__all__ = [
+    "DISABLED",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "ExecutionProfile",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NetworkObservation",
+    "NullMetricsRegistry",
+    "NullSpan",
+    "NullTracer",
+    "Observability",
+    "ObservabilityError",
+    "OperatorObservation",
+    "PAYLOAD_BUCKETS",
+    "QUEUE_WAIT_BUCKETS",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "Span",
+    "Tracer",
+    "export_chrome_trace",
+    "export_prometheus",
+    "export_spans_jsonl",
+]

@@ -1,0 +1,166 @@
+"""Exporters: JSONL span log, Chrome trace_event JSON, Prometheus text.
+
+All three are deterministic under virtual time — no wall-clock values,
+stable ordering — so exports from identical seeded runs are
+byte-identical and diffable.
+
+* ``export_spans_jsonl`` — one JSON object per finished span, in
+  (start, span_id) order.
+* ``export_chrome_trace`` — the Trace Event Format (complete ``"X"``
+  events), loadable in ``chrome://tracing`` and https://ui.perfetto.dev.
+  Virtual tu are mapped to microseconds at ``TU_TO_US`` per tu so one tu
+  displays as one millisecond.
+* ``export_prometheus`` — the text exposition format for a
+  :class:`~repro.observability.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.observability.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.observability.tracer import Span, Tracer
+
+#: Chrome trace timestamps are microseconds; one virtual tu renders as
+#: one millisecond, keeping sub-tu operator spans visible.
+TU_TO_US = 1000.0
+
+#: Stable Chrome-trace thread ids per benchmark stream.
+_STREAM_TIDS = {"A": 1, "B": 2, "C": 3, "D": 4}
+_DEFAULT_TID = 0
+_SCHEDULE_TID = 5  # run/period/stream scaffolding without a stream
+
+
+def _finished(spans: Iterable[Span]) -> list[Span]:
+    return sorted(
+        (s for s in spans if s.finished),
+        key=lambda s: (s.start_time, s.span_id),
+    )
+
+
+def export_spans_jsonl(source: Tracer | Sequence[Span]) -> str:
+    """One finished span per line as compact JSON."""
+    spans = source.spans if isinstance(source, Tracer) else source
+    lines = [
+        json.dumps(span.to_dict(), sort_keys=True, separators=(",", ":"))
+        for span in _finished(spans)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _trace_tid(span: Span, by_id: dict[int, Span]) -> int:
+    """Thread id: the owning stream's lane, walking up to the root."""
+    node: Span | None = span
+    while node is not None:
+        stream = node.attributes.get("stream")
+        if stream in _STREAM_TIDS:
+            return _STREAM_TIDS[stream]
+        if node.kind == "stream" and node.name in _STREAM_TIDS:
+            return _STREAM_TIDS[node.name]
+        node = by_id.get(node.parent_id) if node.parent_id else None
+    if span.kind in ("run", "period", "init"):
+        return _SCHEDULE_TID
+    return _DEFAULT_TID
+
+
+def export_chrome_trace(source: Tracer | Sequence[Span]) -> str:
+    """Trace Event Format JSON for chrome://tracing / Perfetto."""
+    spans = source.spans if isinstance(source, Tracer) else source
+    finished = _finished(spans)
+    by_id = {s.span_id: s for s in finished}
+
+    events: list[dict] = []
+    seen_tids: set[int] = set()
+    for span in finished:
+        tid = _trace_tid(span, by_id)
+        seen_tids.add(tid)
+        args: dict[str, object] = dict(span.attributes)
+        args["status"] = span.status
+        if span.error:
+            args["error"] = span.error
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": span.start_time * TU_TO_US,
+                "dur": span.duration * TU_TO_US,
+                "pid": 1,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    events.sort(key=lambda e: (e["ts"], e["tid"]))
+
+    names = {
+        _DEFAULT_TID: "engine",
+        _SCHEDULE_TID: "benchmark",
+        **{tid: f"stream {s}" for s, tid in _STREAM_TIDS.items()},
+    }
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": names.get(tid, f"lane {tid}")},
+        }
+        for tid in sorted(seen_tids)
+    ]
+    document = {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "virtual",
+            "time_unit": "tu",
+            "tu_to_us": TU_TO_US,
+        },
+    }
+    return json.dumps(document, sort_keys=True, indent=1)
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _label_str(labels: Sequence[tuple[str, str]], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def export_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition of every registered instrument."""
+    lines: list[str] = []
+    emitted_headers: set[str] = set()
+    for instrument in registry.collect():
+        if instrument.name not in emitted_headers:
+            emitted_headers.add(instrument.name)
+            if instrument.help:
+                lines.append(f"# HELP {instrument.name} {instrument.help}")
+            lines.append(
+                f"# TYPE {instrument.name} {instrument.instrument_type}"
+            )
+        if isinstance(instrument, Histogram):
+            cumulative = instrument.cumulative_counts()
+            for bound, count in zip(instrument.buckets, cumulative):
+                le = _label_str(instrument.labels, f'le="{_format_value(bound)}"')
+                lines.append(f"{instrument.name}_bucket{le} {count}")
+            le_inf = _label_str(instrument.labels, 'le="+Inf"')
+            lines.append(f"{instrument.name}_bucket{le_inf} {cumulative[-1]}")
+            label_str = _label_str(instrument.labels)
+            lines.append(
+                f"{instrument.name}_sum{label_str} "
+                f"{_format_value(instrument.sum)}"
+            )
+            lines.append(f"{instrument.name}_count{label_str} {instrument.count}")
+        elif isinstance(instrument, (Counter, Gauge)):
+            label_str = _label_str(instrument.labels)
+            lines.append(
+                f"{instrument.name}{label_str} {_format_value(instrument.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

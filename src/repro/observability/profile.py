@@ -1,0 +1,44 @@
+"""Execution-profile records collected while an instance runs.
+
+The engines cannot know an instance's virtual start/completion until the
+worker pool has admitted it, so operators and service calls are logged
+*positionally* during execution (what ran, what it charged) and turned
+into child spans afterwards: the engine lays them out inside the
+instance's service window proportionally to their priced cost, which
+keeps parent/child times consistent on the virtual timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NetworkObservation:
+    """One routed service call made during an operator."""
+
+    service: str
+    operation: str
+    cost: float
+    payload_units: float
+
+
+@dataclass
+class OperatorObservation:
+    """One leaf operator execution: its work and service calls."""
+
+    kind: str
+    name: str
+    #: Work-unit deltas by kind (relational / xml / control).
+    work: dict[str, float] = field(default_factory=dict)
+    #: Communication cost charged while the operator ran.
+    communication: float = 0.0
+    network_calls: list[NetworkObservation] = field(default_factory=list)
+
+
+@dataclass
+class ExecutionProfile:
+    """Everything one instance execution logged, in execution order."""
+
+    operators: list[OperatorObservation] = field(default_factory=list)
+    network_calls: list[NetworkObservation] = field(default_factory=list)

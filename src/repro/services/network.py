@@ -16,6 +16,10 @@ import random
 from dataclasses import dataclass
 
 from repro.errors import NetworkError
+from repro.observability.metrics import (
+    MetricsRegistry,
+    PAYLOAD_BUCKETS,
+)
 
 
 @dataclass(frozen=True)
@@ -46,6 +50,7 @@ class Network:
         default_link: Link = Link(latency=1.0, bandwidth=200.0),
         jitter: float = 0.0,
         seed: int = 0,
+        metrics: MetricsRegistry | None = None,
     ):
         if not 0.0 <= jitter < 1.0:
             raise NetworkError(f"jitter must be in [0, 1): {jitter}")
@@ -55,9 +60,42 @@ class Network:
         self._hosts: set[str] = set()
         self._links: dict[tuple[str, str], Link] = {}
         self._partitioned: set[tuple[str, str]] = set()
-        #: Total transfers and payload units moved (benchmark statistics).
-        self.transfer_count = 0
-        self.payload_units_total = 0.0
+        # Transfer statistics live in a metrics registry (private by
+        # default, shared with the run's Observability when bound), so
+        # the benchmark's communication statistics and the observability
+        # exports come from one set of instruments.
+        self.bind_metrics(metrics or MetricsRegistry())
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Register this network's instruments into ``registry``."""
+        self._metrics = registry
+        self._m_transfers = registry.counter(
+            "network_transfers_total",
+            help="Cross-host transfers routed through the network model",
+        )
+        self._m_payload = registry.counter(
+            "network_payload_units_total",
+            help="Payload units moved across hosts",
+        )
+        self._m_payload_hist = registry.histogram(
+            "network_payload_units",
+            buckets=PAYLOAD_BUCKETS,
+            help="Per-transfer payload size in payload units",
+        )
+        self._m_partition_errors = registry.counter(
+            "network_partition_errors_total",
+            help="Transfers refused because the host pair was partitioned",
+        )
+
+    @property
+    def transfer_count(self) -> int:
+        """Cross-host transfers made (same-host hops are free and not counted)."""
+        return int(self._m_transfers.value)
+
+    @property
+    def payload_units_total(self) -> float:
+        """Payload units moved across hosts."""
+        return self._m_payload.value
 
     def add_host(self, name: str) -> None:
         if not name:
@@ -103,19 +141,23 @@ class Network:
     def transfer_cost(self, src: str, dst: str, payload_units: float) -> float:
         """Cost in tu of moving ``payload_units`` from ``src`` to ``dst``.
 
-        Same-host transfers are free.  Raises :class:`NetworkError` when
-        the pair is partitioned.
+        Same-host transfers are free and excluded from the transfer
+        statistics (they cost 0 tu, so counting them would inflate the
+        benchmark's communication numbers).  Raises :class:`NetworkError`
+        when the pair is partitioned.
         """
         self._require(src)
         self._require(dst)
         if payload_units < 0:
             raise NetworkError(f"negative payload: {payload_units}")
         if (src, dst) in self._partitioned:
+            self._m_partition_errors.inc()
             raise NetworkError(f"network partition between {src} and {dst}")
-        self.transfer_count += 1
-        self.payload_units_total += payload_units
         if src == dst:
             return 0.0
+        self._m_transfers.inc()
+        self._m_payload.inc(payload_units)
+        self._m_payload_hist.observe(payload_units)
         link = self.link_between(src, dst)
         cost = link.latency + payload_units / link.bandwidth
         if self.jitter:

@@ -13,6 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
+from repro.observability.metrics import MetricsRegistry
 from repro.simtime.clock import Clock, VirtualClock
 
 
@@ -34,10 +35,28 @@ class EventScheduler:
     itself), which is why draining re-examines the heap after every call.
     """
 
-    def __init__(self, clock: Clock | None = None):
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.clock = clock if clock is not None else VirtualClock()
         self._heap: list[ScheduledEvent] = []
         self._counter = itertools.count()
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_pushed = metrics.counter(
+                "scheduler_events_pushed_total",
+                help="Events pushed into the discrete-event queue",
+            )
+            self._m_dispatched = metrics.counter(
+                "scheduler_events_dispatched_total",
+                help="Events popped and dispatched in deadline order",
+            )
+            self._m_peak = metrics.gauge(
+                "scheduler_queue_peak",
+                help="High-water mark of pending events in the queue",
+            )
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -48,6 +67,9 @@ class EventScheduler:
             raise ValueError(f"deadline must be >= 0, got {deadline}")
         event = ScheduledEvent(deadline, next(self._counter), payload)
         heapq.heappush(self._heap, event)
+        if self._metrics is not None:
+            self._m_pushed.inc()
+            self._m_peak.set_max(len(self._heap))
         return event
 
     def push_after(self, delay: float, payload: Any) -> ScheduledEvent:
@@ -64,6 +86,8 @@ class EventScheduler:
             raise IndexError("pop from an empty event scheduler")
         event = heapq.heappop(self._heap)
         self.clock.advance_to(event.deadline)
+        if self._metrics is not None:
+            self._m_dispatched.inc()
         return event
 
     def drain(self) -> Iterator[ScheduledEvent]:

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from repro.engine.base import InstanceRecord, IntegrationEngine, ProcessEvent
 from repro.errors import BenchmarkError
 from repro.metrics.navg import MetricReport
+from repro.observability import Observability, Span
 from repro.mtm.message import Message
 from repro.scenario.messages import MessageFactory, Population
 from repro.scenario.topology import Scenario
@@ -76,6 +77,7 @@ class BenchmarkClient:
         periods: int = 100,
         seed: int = 42,
         sandiego_error_rate: float = 0.15,
+        observability: Observability | None = None,
     ):
         if periods < 1 or periods > 100:
             raise BenchmarkError(f"periods must be in [1, 100]: {periods}")
@@ -85,23 +87,61 @@ class BenchmarkClient:
         self.periods = periods
         self.seed = seed
         self.sandiego_error_rate = sandiego_error_rate
+        #: One observability context for the whole run; threaded through
+        #: the engine, network, initializer, and monitor so every layer
+        #: reports into the same tracer and metrics registry.
+        self.observability = observability or Observability.disabled()
+        if self.observability.enabled:
+            self.engine.observability = self.observability
+            self.scenario.registry.network.bind_metrics(
+                self.observability.metrics
+            )
         self.initializer = Initializer(
             scenario,
             d=self.factors.datasize,
             f=self.factors.distribution,
             seed=seed,
+            observability=self.observability,
         )
-        self.monitor = Monitor(time_scale=self.factors.time)
+        self.monitor = Monitor(
+            time_scale=self.factors.time, observability=self.observability
+        )
         self._last_factory: MessageFactory | None = None
         self._last_population: Population | None = None
+        #: Global virtual-time offset: each period's clock restarts at
+        #: zero, so finished periods push this forward to keep all spans
+        #: on one monotone timeline.
+        self._trace_offset = 0.0
+        self._run_span: Span | None = None
+        self._stream_spans: dict[str, Span] = {}
 
     # -- phase work ---------------------------------------------------------------
 
     def run(self, verify: bool = True) -> BenchmarkResult:
         """Execute phases pre/work/post and return the result."""
+        tracer = self.observability.tracer
+        if tracer.enabled:
+            tracer.time_offset = 0.0
+            self._run_span = tracer.begin(
+                "run",
+                start=self._trace_offset,
+                kind="run",
+                attributes={
+                    "engine": self.engine.engine_name,
+                    "datasize": self.factors.datasize,
+                    "time": self.factors.time,
+                    "distribution": self.factors.distribution,
+                    "periods": self.periods,
+                    "seed": self.seed,
+                },
+            )
         self._phase_pre()
         for period in range(self.periods):
             self.run_period(period)
+        if self._run_span is not None:
+            tracer.time_offset = 0.0
+            self._run_span.end(self._trace_offset)
+            self._run_span = None
         verification = self._phase_post(verify)
         metrics = self.monitor.metrics()
         return BenchmarkResult(
@@ -134,6 +174,19 @@ class BenchmarkClient:
     def run_period(self, period: int) -> list[InstanceRecord]:
         """Uninitialize, initialize, run streams A∥B → C → D."""
         self._phase_pre()  # idempotent: deploys only when nothing is deployed
+        tracer = self.observability.tracer
+        period_span: Span | None = None
+        if tracer.enabled:
+            # Each period's virtual clock restarts at zero: shift this
+            # period's spans past everything already recorded.
+            tracer.time_offset = self._trace_offset
+            period_span = tracer.begin(
+                f"period-{period}",
+                start=0.0,
+                kind="period",
+                parent=self._run_span,
+                attributes={"period": period},
+            )
         self.initializer.uninitialize_all()
         population = self.initializer.initialize_sources(period)
         factory = MessageFactory(
@@ -145,20 +198,63 @@ class BenchmarkClient:
         self._last_population = population
         self.engine.reset_workers()
         records_before = len(self.engine.records)
+        if tracer.enabled:
+            self._stream_spans = {
+                stream: tracer.begin(
+                    stream, start=0.0, kind="stream",
+                    parent=period_span, activate=False,
+                    attributes={"stream": stream, "period": period},
+                )
+                for stream in ("A", "B", "C", "D")
+            }
 
         completions = self._run_message_streams(period, factory)
         self._run_dependent_streams(period, completions)
 
         new_records = self.engine.records[records_before:]
         self.monitor.absorb(new_records)
+        if period_span is not None:
+            duration = max((r.completion for r in new_records), default=0.0)
+            for stream, span in self._stream_spans.items():
+                span.end(
+                    max(
+                        (r.completion for r in new_records
+                         if r.stream == stream),
+                        default=0.0,
+                    )
+                )
+            self._stream_spans = {}
+            errors = sum(1 for r in new_records if r.status != "ok")
+            period_span.set_attribute("instances", len(new_records))
+            period_span.set_attribute("errors", errors)
+            period_span.end(
+                duration, status="ok" if not errors else "error",
+            )
+            self._trace_offset += duration
+        metrics = self.observability.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "client_periods_total", help="Benchmark periods executed"
+            ).inc()
         return new_records
+
+    def _handle_in_stream(self, event: ProcessEvent) -> InstanceRecord:
+        """Run one event with its stream span as the span parent."""
+        stream_span = self._stream_spans.get(event.stream)
+        if stream_span is None:
+            return self.engine.handle_event(event)
+        with self.observability.tracer.use_parent(stream_span):
+            return self.engine.handle_event(event)
 
     def _run_message_streams(
         self, period: int, factory: MessageFactory
     ) -> dict[str, float]:
         """Streams A and B: merged E1 events in deadline order."""
         schedule = build_schedule(period, self.factors)
-        scheduler = EventScheduler(VirtualClock())
+        metrics = self.observability.metrics
+        scheduler = EventScheduler(
+            VirtualClock(), metrics=metrics if metrics.enabled else None
+        )
 
         builders = {
             "P01": lambda: factory.beijing_master_data(),
@@ -177,7 +273,7 @@ class BenchmarkClient:
         for event in scheduler.drain():
             process_id = event.payload
             message = builders[process_id]()
-            record = self.engine.handle_event(
+            record = self._handle_in_stream(
                 ProcessEvent(
                     process_id,
                     deadline=event.deadline,
@@ -197,7 +293,7 @@ class BenchmarkClient:
         """The T1-dependent E2 chain plus streams C and D."""
 
         def run_at(process_id: str, deadline: float) -> InstanceRecord:
-            record = self.engine.handle_event(
+            record = self._handle_in_stream(
                 ProcessEvent(
                     process_id,
                     deadline=deadline,

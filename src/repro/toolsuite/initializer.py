@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.datagen.distributions import Distribution, make_distribution
 from repro.datagen.generators import DataGenerator, GeneratorProfile
+from repro.observability import Observability
 from repro.scenario.messages import Population
 from repro.scenario.topology import KEY_RANGES, Scenario
 
@@ -35,12 +36,14 @@ class Initializer:
         f: int = 0,
         seed: int = 42,
         profile: GeneratorProfile | None = None,
+        observability: Observability | None = None,
     ):
         self.scenario = scenario
         self.d = d
         self.f = f
         self.seed = seed
         self.profile = profile or GeneratorProfile()
+        self.observability = observability or Observability.disabled()
 
     # -- helpers -----------------------------------------------------------------
 
@@ -59,9 +62,50 @@ class Initializer:
     def uninitialize_all(self) -> None:
         """Empty every external system."""
         self.scenario.uninitialize()
+        obs = self.observability
+        if obs.enabled:
+            # Initialization happens before the period's virtual clock
+            # starts running, so the span is an instant at period start.
+            obs.tracer.record("uninitialize", 0.0, 0.0, kind="init")
+            obs.metrics.counter(
+                "initializer_uninitialize_total",
+                help="Per-period uninitializations of all external systems",
+            ).inc()
 
     def initialize_sources(self, period: int = 0) -> Population:
         """Load fresh source data; returns the planted key population."""
+        obs = self.observability
+        if obs.enabled:
+            return self._initialize_sources_observed(period)
+        return self._initialize_sources(period)
+
+    def _initialize_sources_observed(self, period: int) -> Population:
+        population = self._initialize_sources(period)
+        planted = sum(len(keys) for keys in population.customer_keys.values())
+        self.observability.tracer.record(
+            "initialize-sources", 0.0, 0.0, kind="init",
+            attributes={
+                "period": period,
+                "customers": planted,
+                "products": len(population.product_keys),
+            },
+        )
+        metrics = self.observability.metrics
+        metrics.counter(
+            "initializer_periods_total",
+            help="Per-period source initializations",
+        ).inc()
+        metrics.counter(
+            "initializer_customers_total",
+            help="Customer keys planted across all sources",
+        ).inc(planted)
+        metrics.counter(
+            "initializer_products_total",
+            help="Product keys planted in the catalog",
+        ).inc(len(population.product_keys))
+        return population
+
+    def _initialize_sources(self, period: int = 0) -> Population:
         gen = self._generator(period, salt=0)
         profile = self.profile
         n_cust = profile.scaled(profile.customers_base, self.d)

@@ -9,51 +9,72 @@ and reported in tu (``tu = units * t``), matching the paper's plots
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Iterable
 
 from repro.engine.base import InstanceRecord
 from repro.metrics.navg import MetricReport, compute_metrics
+from repro.observability import Observability
 from repro.toolsuite.plotting import performance_plot_ascii, performance_plot_svg
 
 
 class Monitor:
     """Collects instance records and produces reports and plots."""
 
-    def __init__(self, time_scale: float = 1.0):
+    def __init__(
+        self,
+        time_scale: float = 1.0,
+        observability: Observability | None = None,
+    ):
         self.time_scale = time_scale
         self.records: list[InstanceRecord] = []
+        self.observability = observability or Observability.disabled()
 
     def absorb(self, records: Iterable[InstanceRecord]) -> None:
+        records = list(records)
         self.records.extend(records)
+        metrics = self.observability.metrics
+        if metrics.enabled and records:
+            metrics.counter(
+                "monitor_records_absorbed_total",
+                help="Instance records absorbed by the Monitor",
+            ).inc(len(records))
 
     def clear(self) -> None:
         self.records.clear()
 
     # -- metrics --------------------------------------------------------------
 
-    def metrics(self) -> MetricReport:
-        """Per-process-type NAVG+ metrics, reported in tu."""
-        report = compute_metrics(self.records)
+    def _scaled(self, report: MetricReport) -> MetricReport:
+        """Convert a report from engine units to tu (``tu = units * t``).
+
+        Uses :func:`dataclasses.replace` so fields without a time
+        dimension (counts, error counts, future additions) pass through
+        untouched instead of being hand-copied.
+        """
         if self.time_scale == 1.0:
             return report
         scaled = MetricReport()
         for process_id, m in report.per_type.items():
-            scaled.per_type[process_id] = type(m)(
-                process_id=m.process_id,
-                instance_count=m.instance_count,
+            scaled.per_type[process_id] = replace(
+                m,
                 navg=m.navg * self.time_scale,
                 sigma=m.sigma * self.time_scale,
                 navg_plus=m.navg_plus * self.time_scale,
                 communication_mean=m.communication_mean * self.time_scale,
                 management_mean=m.management_mean * self.time_scale,
                 processing_mean=m.processing_mean * self.time_scale,
-                error_count=m.error_count,
             )
         return scaled
 
+    def metrics(self) -> MetricReport:
+        """Per-process-type NAVG+ metrics, reported in tu."""
+        return self._scaled(compute_metrics(self.records))
+
     def metrics_for_period(self, period: int) -> MetricReport:
+        """One period's NAVG+ metrics, reported in tu like :meth:`metrics`."""
         subset = [r for r in self.records if r.period == period]
-        return compute_metrics(subset)
+        return self._scaled(compute_metrics(subset))
 
     def period_series(self, process_id: str) -> list[tuple[int, int, float]]:
         """Per-period (period, instance count, NAVG in tu) for one type.

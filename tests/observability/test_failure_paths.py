@@ -1,0 +1,92 @@
+"""Failure paths feeding the spans: partitions, healing, seeded jitter."""
+
+import pytest
+
+from repro.engine import MtmInterpreterEngine
+from repro.observability import Observability
+from repro.scenario import build_scenario
+from repro.toolsuite import BenchmarkClient, ScaleFactors
+
+
+def _traced_client(scenario, observability, seed=5):
+    engine = MtmInterpreterEngine(scenario.registry)
+    return BenchmarkClient(
+        scenario, engine, ScaleFactors(datasize=0.02), periods=1, seed=seed,
+        observability=observability,
+    )
+
+
+class TestPartitionedNetwork:
+    def test_error_record_and_error_status_span(self):
+        observability = Observability()
+        scenario = build_scenario(seed=5)
+        client = _traced_client(scenario, observability)
+        scenario.network.partition("IS", "ES")
+        records = client.run_period(0)
+
+        error_records = [r for r in records if r.status != "ok"]
+        assert error_records  # everything touching ES failed
+        error_spans = [
+            s for s in observability.tracer.spans_of_kind("instance")
+            if s.status == "error"
+        ]
+        assert len(error_spans) == len(error_records)
+        assert all("partition" in s.error or "Network" in s.error
+                   for s in error_spans)
+        # Failed instances executed no operators, so no children beyond
+        # queue-wait/management are laid out under their spans.
+        error_ids = {s.span_id for s in error_spans}
+        child_kinds = {
+            s.kind for s in observability.tracer.spans
+            if s.parent_id in error_ids
+        }
+        assert "operator" not in child_kinds
+
+    def test_partition_errors_counted(self):
+        observability = Observability()
+        scenario = build_scenario(seed=5)
+        client = _traced_client(scenario, observability)
+        scenario.network.partition("IS", "ES")
+        client.run_period(0)
+        snapshot = observability.metrics.snapshot()
+        assert snapshot["network_partition_errors_total"] > 0
+
+    def test_heal_restores_clean_runs_and_spans(self):
+        observability = Observability()
+        scenario = build_scenario(seed=5)
+        client = _traced_client(scenario, observability)
+        scenario.network.partition("IS", "ES")
+        client.run_period(0)
+        scenario.network.heal("IS", "ES")
+        client.engine.clear_records()
+        client.monitor.clear()
+        observability.tracer.clear()
+        client._trace_offset = 0.0
+        records = client.run_period(0)
+        assert all(r.status == "ok" for r in records)
+        spans = observability.tracer.spans_of_kind("instance")
+        assert spans
+        assert all(s.status == "ok" for s in spans)
+
+
+class TestJitterReproducibility:
+    def _trace_fingerprint(self, seed):
+        observability = Observability()
+        scenario = build_scenario(jitter=0.3, seed=seed)
+        client = _traced_client(scenario, observability, seed=seed)
+        client.run_period(0)
+        return [
+            (s.name, s.kind, round(s.start_time, 9), round(s.end_time, 9))
+            for s in observability.tracer.finished_spans()
+        ], observability.prometheus()
+
+    def test_fixed_seed_reproducible_across_runs(self):
+        spans_a, metrics_a = self._trace_fingerprint(seed=9)
+        spans_b, metrics_b = self._trace_fingerprint(seed=9)
+        assert spans_a == spans_b
+        assert metrics_a == metrics_b
+
+    def test_different_seed_differs(self):
+        spans_a, _ = self._trace_fingerprint(seed=9)
+        spans_b, _ = self._trace_fingerprint(seed=10)
+        assert spans_a != spans_b

@@ -60,6 +60,15 @@ class TestTransferCost:
         assert net.transfer_count == 2
         assert net.payload_units_total == 15.0
 
+    def test_same_host_not_counted_in_statistics(self, net):
+        net.transfer_cost("ES", "ES", 1000.0)
+        assert net.transfer_count == 0
+        assert net.payload_units_total == 0.0
+        net.transfer_cost("ES", "IS", 10.0)
+        net.transfer_cost("IS", "IS", 5.0)
+        assert net.transfer_count == 1
+        assert net.payload_units_total == 10.0
+
 
 class TestJitter:
     def test_jitter_bounds(self):

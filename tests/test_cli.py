@@ -1,5 +1,7 @@
 """The command-line front-end."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -70,6 +72,46 @@ class TestRunCommand:
     def test_bad_distribution_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "--distribution", "9"])
+
+    def test_run_trace_and_metrics_out(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.prom"
+        status = main([
+            "run", "--periods", "1", "--datasize", "0.02", "--quiet",
+            "--trace-out", str(trace), "--metrics-out", str(metrics),
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+        assert "engine_instances_total" in metrics.read_text()
+
+
+class TestTraceCommand:
+    def test_writes_chrome_trace(self, capsys, tmp_path):
+        out_file = tmp_path / "trace.json"
+        status = main([
+            "trace", "--periods", "1", "--datasize", "0.02",
+            "--out", str(out_file),
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "spans" in out
+        doc = json.loads(out_file.read_text())
+        names = {e.get("name") for e in doc["traceEvents"]}
+        assert "run" in names
+
+    def test_writes_jsonl(self, tmp_path):
+        out_file = tmp_path / "spans.jsonl"
+        status = main([
+            "trace", "--periods", "1", "--datasize", "0.02",
+            "--out", str(out_file), "--format", "jsonl",
+        ])
+        assert status == 0
+        rows = [json.loads(line)
+                for line in out_file.read_text().splitlines()]
+        assert any(r["kind"] == "instance" for r in rows)
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -108,6 +108,19 @@ class TestMonitor:
         assert "P04" in report
         assert client.monitor.metrics_for_period(99).process_ids == []
 
+    def test_metrics_for_period_applies_time_scale(self, period_result):
+        """Per-period reports honour t just like the run-wide report."""
+        _, _, client, _ = period_result
+        base = client.monitor.metrics_for_period(0)
+        doubled = Monitor(time_scale=2.0)
+        doubled.absorb(client.monitor.records)
+        report = doubled.metrics_for_period(0)
+        for pid in base.process_ids:
+            assert report[pid].navg_plus == pytest.approx(
+                2 * base[pid].navg_plus
+            )
+            assert report[pid].navg == pytest.approx(2 * base[pid].navg)
+
     def test_ascii_plot_lists_all_types(self, period_result):
         _, _, client, _ = period_result
         plot = client.monitor.performance_plot()
