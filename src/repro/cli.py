@@ -8,8 +8,10 @@ Usage (also available as ``python -m repro``)::
     python -m repro run --engine federated --datasize 0.05 --periods 5
     python -m repro run --plot plot.svg --report report.txt
     python -m repro run --trace-out trace.json --metrics-out metrics.prom
+    python -m repro run --faults examples/faults_basic.json
     python -m repro trace --engine interpreter --periods 2 --out trace.json
     python -m repro schedule --period 0 --datasize 0.05
+    python -m repro faults examples/faults_basic.json
     python -m repro processes
     python -m repro validate
 
@@ -29,8 +31,10 @@ from repro.engine import (
     FederatedEngine,
     MtmInterpreterEngine,
 )
+from repro.errors import FaultSpecError
 from repro.mtm.process import validate_definition
 from repro.observability import Observability
+from repro.resilience import FaultSpec, RetryPolicy
 from repro.scenario import PROCESS_TABLE, build_processes, build_scenario
 from repro.toolsuite import BenchmarkClient, ScaleFactors
 from repro.toolsuite.schedule import build_schedule
@@ -79,6 +83,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--metrics-out", metavar="FILE.prom",
                      help="write the run's metrics registry as "
                           "Prometheus text")
+    run.add_argument("--faults", metavar="SPEC.json",
+                     help="inject the deterministic fault schedule from "
+                          "this spec file and run with resilience "
+                          "policies (retry/backoff, circuit breakers, "
+                          "dead-letter queue) enabled")
+    run.add_argument("--max-attempts", type=int, default=4,
+                     help="retry budget per process instance when "
+                          "--faults is given (default 4)")
 
     trace = commands.add_parser(
         "trace",
@@ -111,6 +123,13 @@ def _build_parser() -> argparse.ArgumentParser:
     schedule.add_argument("--datasize", type=float, default=0.05)
     schedule.add_argument("--time", type=float, default=1.0)
 
+    faults = commands.add_parser(
+        "faults",
+        help="validate and describe a fault-injection spec file",
+    )
+    faults.add_argument("spec", metavar="SPEC.json",
+                        help="fault spec file to check")
+
     commands.add_parser("processes", help="list the benchmark process types")
     commands.add_parser(
         "validate", help="statically validate all process definitions"
@@ -129,10 +148,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     observability = (
         Observability() if (args.trace_out or args.metrics_out) else None
     )
-    client = BenchmarkClient(
-        scenario, engine, factors, periods=args.periods, seed=args.seed,
-        observability=observability,
-    )
+    faults = None
+    resilience = None
+    if args.faults:
+        try:
+            faults = FaultSpec.load(args.faults)
+        except (OSError, FaultSpecError) as exc:
+            print(f"error: cannot load fault spec {args.faults}: {exc}",
+                  file=sys.stderr)
+            return 2
+        resilience = RetryPolicy(max_attempts=args.max_attempts)
+    try:
+        client = BenchmarkClient(
+            scenario, engine, factors, periods=args.periods, seed=args.seed,
+            observability=observability,
+            faults=faults, resilience=resilience,
+        )
+    except FaultSpecError as exc:
+        print(f"error: invalid fault spec {args.faults}: {exc}",
+              file=sys.stderr)
+        return 2
     result = client.run()
 
     table = result.metrics.as_table()
@@ -142,6 +177,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"instances={result.total_instances} errors={result.error_instances}"
     )
     print(result.verification.summary())
+    if faults is not None:
+        print(client.monitor.resilience_summary().describe())
+        if result.dead_letters:
+            print("  dead letters:")
+            for letter in result.dead_letters:
+                print(
+                    f"    {letter.process_id} period={letter.period} "
+                    f"t={letter.time:.1f} attempts={letter.attempts} "
+                    f"{letter.error}"
+                )
     print()
     print(table)
     if not args.quiet:
@@ -225,6 +270,31 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    try:
+        spec = FaultSpec.load(args.spec)
+    except (OSError, FaultSpecError) as exc:
+        print(f"error: cannot load fault spec {args.spec}: {exc}",
+              file=sys.stderr)
+        return 1
+    scenario = build_scenario()
+    problems = spec.validate(
+        hosts=scenario.network.hosts,
+        services=scenario.registry.service_names,
+        processes=set(build_processes()),
+    )
+    print(spec.describe())
+    if problems:
+        print()
+        print(f"INVALID: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print()
+    print("spec is valid for the benchmark scenario")
+    return 0
+
+
 def _cmd_processes(_args: argparse.Namespace) -> int:
     processes = build_processes()
     print(f"{'Group':<7}{'ID':<8}{'Event':<7}{'Ops':>5}  Name")
@@ -260,6 +330,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _cmd_run,
         "trace": _cmd_trace,
         "schedule": _cmd_schedule,
+        "faults": _cmd_faults,
         "processes": _cmd_processes,
         "validate": _cmd_validate,
     }[args.command]

@@ -13,9 +13,14 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
-from repro.errors import DeploymentError, EngineError
+from repro.errors import (
+    AttemptTimeout,
+    DeploymentError,
+    EngineError,
+    TransientEngineFault,
+)
 from repro.engine.costs import CostBreakdown, CostParameters
 from repro.mtm.context import ExecutionContext
 from repro.mtm.message import Message
@@ -27,6 +32,9 @@ from repro.observability import (
     QUEUE_WAIT_BUCKETS,
 )
 from repro.services.registry import ServiceRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.policy import ResilienceContext
 
 
 @dataclass(frozen=True)
@@ -72,6 +80,16 @@ class InstanceRecord:
     queue_length_at_arrival: int = 0
     operators_executed: int = 0
     validation_failures: int = 0
+    #: Structured failure class (exception type name) so dead-letter
+    #: routing and tests can match without parsing ``error`` strings.
+    error_type: str = ""
+    #: XSD/validation violations carried by the failing exception
+    #: (P10-style failures keep their detail through dead-lettering).
+    error_violations: tuple[str, ...] = ()
+    #: Execution attempts made (1 = no retries).
+    attempts: int = 1
+    #: Exception class names seen across failed attempts, in order.
+    fault_types: tuple[str, ...] = ()
 
     @property
     def elapsed(self) -> float:
@@ -80,6 +98,15 @@ class InstanceRecord:
     @property
     def wait(self) -> float:
         return self.start - self.arrival
+
+    @property
+    def retries(self) -> int:
+        return self.attempts - 1
+
+    @property
+    def recovered(self) -> bool:
+        """Completed successfully but only after at least one retry."""
+        return self.status == "ok" and self.attempts > 1
 
     @property
     def normalized_cost(self) -> float:
@@ -104,6 +131,7 @@ class IntegrationEngine:
         worker_count: int = 4,
         parallel_efficiency: float = 1.0,
         observability: Observability | None = None,
+        resilience: "ResilienceContext | None" = None,
     ):
         if worker_count < 1:
             raise EngineError(f"worker count must be >= 1, got {worker_count}")
@@ -136,6 +164,13 @@ class IntegrationEngine:
         #: Execution profile of the most recent ``_execute_instance``,
         #: captured by subclasses via :meth:`_capture_profile`.
         self._last_profile: ExecutionProfile | None = None
+        #: Retry/backoff + fault-injection context (attached by the
+        #: BenchmarkClient, like observability); None = fail-fast, the
+        #: exact pre-resilience behavior.
+        self.resilience = resilience
+        #: 1-based attempt number of the execution currently in flight,
+        #: exposed to operators through the execution context.
+        self._current_attempt = 1
         self.observability = observability
 
     # -- observability ---------------------------------------------------------
@@ -258,41 +293,88 @@ class IntegrationEngine:
     # -- event handling ----------------------------------------------------------
 
     def handle_event(self, event: ProcessEvent) -> InstanceRecord:
-        """Execute one process-initiating event; returns its record."""
+        """Execute one process-initiating event; returns its record.
+
+        With a resilience context attached, transient failures retry
+        with exponential backoff in virtual time and non-retryable or
+        exhausted failures are dead-lettered instead of ending the
+        instance as a bare error; without one, behavior is the classic
+        single-attempt fail-fast path.
+        """
         process = self.process_type(event.process_id)
         if process.event_type is not event.event_type:
             raise EngineError(
                 f"{event.process_id} is {process.event_type.value}-initiated "
                 f"but received a {event.event_type.value} event"
             )
-        queue_length = self._queue_length(event.deadline)
-        status, error = "ok", ""
-        inbound_cost = 0.0
-        self._last_profile = None
-        try:
-            costs, operators, failures = self._execute_instance(
-                process, event, queue_length
-            )
-            # Inbound message delivery is itself a network transfer
-            # (C_c includes waiting for external systems, Section V).
-            if event.message is not None and self.registry.network.has_host(
-                self.message_source_host
-            ):
-                inbound_cost = self.registry.network.transfer_cost(
-                    self.message_source_host, self.host,
-                    event.message.size_units,
-                )
-                costs.communication += inbound_cost
-        except Exception as exc:  # instance failure, not engine crash
-            costs = CostBreakdown(
-                management=self.cost_parameters.management_cost(queue_length)
-            )
-            operators, failures = 0, 0
-            status, error = "error", f"{type(exc).__name__}: {exc}"
+        res = self.resilience
+        attempt = 0
+        attempt_time = event.deadline
+        first_failure: float | None = None
+        fault_types: list[str] = []
+        while True:
+            attempt += 1
+            self._current_attempt = attempt
+            if res is not None:
+                # Apply due fault events (partitions heal, endpoints come
+                # back ...) and move the breaker clock before each attempt.
+                res.at(attempt_time)
+            queue_length = self._queue_length(attempt_time)
+            status, error, error_type = "ok", "", ""
+            violations: tuple[str, ...] = ()
             inbound_cost = 0.0
             self._last_profile = None
+            try:
+                self._raise_injected_faults(event, res)
+                costs, operators, failures = self._execute_instance(
+                    process, event, queue_length
+                )
+                if (
+                    res is not None
+                    and res.policy.timeout is not None
+                    and costs.total > res.policy.timeout
+                ):
+                    raise AttemptTimeout(
+                        f"{event.process_id}: attempt cost {costs.total:.2f} "
+                        f"exceeded the {res.policy.timeout:.2f} budget"
+                    )
+                # Inbound message delivery is itself a network transfer
+                # (C_c includes waiting for external systems, Section V).
+                if event.message is not None and self.registry.network.has_host(
+                    self.message_source_host
+                ):
+                    inbound_cost = self.registry.network.transfer_cost(
+                        self.message_source_host, self.host,
+                        event.message.size_units,
+                    )
+                    costs.communication += inbound_cost
+                break
+            except Exception as exc:  # instance failure, not engine crash
+                costs = CostBreakdown(
+                    management=self.cost_parameters.management_cost(queue_length)
+                )
+                operators, failures = 0, 0
+                error_type = type(exc).__name__
+                error = f"{error_type}: {exc}"
+                violations = tuple(getattr(exc, "violations", ()) or ())
+                inbound_cost = 0.0
+                self._last_profile = None
+                if res is None:
+                    status = "error"
+                    break
+                fault_types.append(error_type)
+                if first_failure is None:
+                    first_failure = attempt_time
+                if res.retryable(exc) and attempt < res.policy.max_attempts:
+                    delay = res.next_delay(attempt)
+                    res.observe_retry(event.process_id, delay)
+                    attempt_time += delay
+                    continue
+                status = "dead-letter"
+                break
+        self._current_attempt = 1
         start, completion = self._admit(
-            event.deadline, costs.management + costs.processing + costs.communication
+            attempt_time, costs.management + costs.processing + costs.communication
         )
         record = InstanceRecord(
             instance_id=next(self._instance_counter),
@@ -308,10 +390,76 @@ class IntegrationEngine:
             queue_length_at_arrival=queue_length,
             operators_executed=operators,
             validation_failures=failures,
+            error_type=error_type,
+            error_violations=violations,
+            attempts=attempt,
+            fault_types=tuple(fault_types),
+        )
+        self.records.append(record)
+        if res is not None:
+            mttr = (
+                attempt_time - first_failure
+                if record.recovered and first_failure is not None
+                else None
+            )
+            res.account(record, mttr)
+        if self._observability.enabled:
+            self._observe_instance(record, self._last_profile, inbound_cost)
+        return record
+
+    def _raise_injected_faults(
+        self, event: ProcessEvent, res: "ResilienceContext | None"
+    ) -> None:
+        """Surface injected faults targeting this instance, if any.
+
+        Transient engine faults raise :class:`TransientEngineFault`
+        (retryable); a corrupted inbound message is validated against
+        its declared XSD and raises a real ``XsdValidationError``
+        (poison, dead-lettered).
+        """
+        if res is None or res.injector is None:
+            return
+        if res.injector.take_engine_fault(event.process_id):
+            raise TransientEngineFault(
+                f"injected transient engine fault for {event.process_id}"
+            )
+        if event.message is not None:
+            schema = res.injector.corruption_schema(event.message)
+            if schema is not None:
+                schema.assert_valid(event.message.xml())
+
+    def record_failure(self, event: ProcessEvent, exc: BaseException) -> InstanceRecord:
+        """Record an event the engine could not execute at all.
+
+        The client boundary uses this when :meth:`handle_event` itself
+        raises (deployment/config errors): the period continues with an
+        error record instead of aborting the whole run.
+        """
+        record = InstanceRecord(
+            instance_id=next(self._instance_counter),
+            process_id=event.process_id,
+            period=event.period,
+            stream=event.stream,
+            arrival=event.deadline,
+            start=event.deadline,
+            completion=event.deadline,
+            costs=CostBreakdown(),
+            status="error",
+            error=f"{type(exc).__name__}: {exc}",
+            error_type=type(exc).__name__,
+            error_violations=tuple(getattr(exc, "violations", ()) or ()),
         )
         self.records.append(record)
         if self._observability.enabled:
-            self._observe_instance(record, self._last_profile, inbound_cost)
+            self._observability.metrics.counter(
+                "engine_instances_total",
+                help="Process instances executed",
+                labels={
+                    "engine": self.engine_name,
+                    "process": record.process_id,
+                    "status": "error",
+                },
+            ).inc()
         return record
 
     def _execute_instance(
@@ -380,6 +528,12 @@ class IntegrationEngine:
                 "cost": record.normalized_cost,
             },
         )
+        # Only annotate degraded instances: fault-free runs keep
+        # byte-identical exports with or without the resilience layer.
+        if record.attempts > 1:
+            span.set_attribute("attempts", record.attempts)
+        if record.error_type:
+            span.set_attribute("error_type", record.error_type)
         if record.start > record.arrival:
             tracer.record(
                 "queue-wait", record.arrival, record.start,
@@ -451,3 +605,10 @@ class IntegrationEngine:
 
     def error_records(self) -> list[InstanceRecord]:
         return [r for r in self.records if r.status != "ok"]
+
+    def recovered_records(self) -> list[InstanceRecord]:
+        """Instances that completed only after at least one retry."""
+        return [r for r in self.records if r.recovered]
+
+    def dead_letter_records(self) -> list[InstanceRecord]:
+        return [r for r in self.records if r.status == "dead-letter"]

@@ -22,10 +22,15 @@ exists to tell.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.engine.costs import CostParameters
 from repro.engine.interpreter import MtmInterpreterEngine
 from repro.observability import Observability
 from repro.services.registry import ServiceRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.policy import ResilienceContext
 
 #: Cost profile of a message-oriented EAI server: native XML pipeline
 #: (cheap, streaming), lightweight routing (cheap control), but
@@ -74,6 +79,7 @@ class EaiEngine(MtmInterpreterEngine):
         parallel_efficiency: float = 1.0,
         trace: bool = False,
         observability: Observability | None = None,
+        resilience: "ResilienceContext | None" = None,
     ):
         super().__init__(
             registry,
@@ -83,6 +89,7 @@ class EaiEngine(MtmInterpreterEngine):
             parallel_efficiency,
             trace,
             observability=observability,
+            resilience=resilience,
         )
 
 
@@ -106,6 +113,7 @@ class EtlEngine(MtmInterpreterEngine):
         parallel_efficiency: float = 0.8,
         trace: bool = False,
         observability: Observability | None = None,
+        resilience: "ResilienceContext | None" = None,
     ):
         super().__init__(
             registry,
@@ -115,6 +123,7 @@ class EtlEngine(MtmInterpreterEngine):
             parallel_efficiency,
             trace,
             observability=observability,
+            resilience=resilience,
         )
 
     def _execute_instance(self, process, event, queue_length):

@@ -22,6 +22,7 @@ relational bulk processes stay cheap (optimizer-covered).
 from __future__ import annotations
 
 import itertools
+from typing import TYPE_CHECKING
 
 from repro.errors import EngineError
 from repro.db.database import Database
@@ -34,6 +35,9 @@ from repro.mtm.process import EventType, ProcessType
 from repro.observability import Observability
 from repro.services.registry import ServiceRegistry
 from repro.xmlkit.doc import parse_xml, serialize_xml
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.policy import ResilienceContext
 
 
 class FederatedEngine(IntegrationEngine):
@@ -50,6 +54,7 @@ class FederatedEngine(IntegrationEngine):
         parallel_efficiency: float = 0.6,
         trace: bool = False,
         observability: Observability | None = None,
+        resilience: "ResilienceContext | None" = None,
     ):
         super().__init__(
             registry,
@@ -58,6 +63,7 @@ class FederatedEngine(IntegrationEngine):
             worker_count,
             parallel_efficiency,
             observability=observability,
+            resilience=resilience,
         )
         #: The engine's own catalog: queue tables, triggers, procedures.
         self.internal_db = Database("federation_catalog")
@@ -146,6 +152,7 @@ class FederatedEngine(IntegrationEngine):
             trace=self.trace,
         )
         context.parallel_efficiency = self.parallel_efficiency
+        context.attempt = self._current_attempt
         return context
 
     def _run_subprocess(

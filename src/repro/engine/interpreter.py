@@ -7,6 +7,8 @@ an EAI/ETL engine with a worker pool, a plan cache and native operators.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.engine.base import IntegrationEngine, ProcessEvent
 from repro.engine.costs import CostBreakdown, INTERPRETER_COSTS, CostParameters
 from repro.mtm.context import ExecutionContext
@@ -14,6 +16,9 @@ from repro.mtm.message import Message
 from repro.mtm.process import ProcessType
 from repro.observability import Observability
 from repro.services.registry import ServiceRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.policy import ResilienceContext
 
 
 class MtmInterpreterEngine(IntegrationEngine):
@@ -33,6 +38,7 @@ class MtmInterpreterEngine(IntegrationEngine):
         parallel_efficiency: float = 1.0,
         trace: bool = False,
         observability: Observability | None = None,
+        resilience: "ResilienceContext | None" = None,
     ):
         super().__init__(
             registry,
@@ -41,6 +47,7 @@ class MtmInterpreterEngine(IntegrationEngine):
             worker_count,
             parallel_efficiency,
             observability=observability,
+            resilience=resilience,
         )
         self.trace = trace
         #: Trace logs of completed instances, when tracing is on.
@@ -54,6 +61,7 @@ class MtmInterpreterEngine(IntegrationEngine):
             trace=self.trace,
         )
         context.parallel_efficiency = self.parallel_efficiency
+        context.attempt = self._current_attempt
         return context
 
     def _run_subprocess(

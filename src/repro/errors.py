@@ -86,6 +86,33 @@ class NetworkError(ServiceError):
     """A simulated transport failure (used by failure-injection tests)."""
 
 
+class EndpointUnavailableError(ServiceError):
+    """The endpoint exists but is offline (injected outage)."""
+
+
+# -------------------------------------------------------------------- resilience
+
+
+class ResilienceError(ReproError):
+    """Base class for the fault-injection / resilience layer."""
+
+
+class FaultSpecError(ResilienceError):
+    """A fault spec is malformed or references unknown targets."""
+
+
+class TransientEngineFault(ResilienceError):
+    """An injected transient engine failure (recoverable by retrying)."""
+
+
+class CircuitOpenError(ResilienceError):
+    """A call was rejected because the endpoint's circuit breaker is open."""
+
+
+class AttemptTimeout(ResilienceError):
+    """One execution attempt exceeded the policy's virtual-time budget."""
+
+
 # ------------------------------------------------------------------------- mtm
 
 

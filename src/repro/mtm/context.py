@@ -54,6 +54,9 @@ class ExecutionContext:
         self._subprocess_runner = subprocess_runner
         self.trace_enabled = trace
         self.trace_log: list[str] = []
+        #: 1-based execution attempt of the owning instance (> 1 while a
+        #: resilience retry is re-running the process).
+        self.attempt = 1
         #: Validation failures routed to failed-data destinations (P10).
         self.validation_failures: list[list[str]] = []
         #: Observability hooks: when an engine runs with tracing/metrics

@@ -1,0 +1,71 @@
+"""repro.resilience: deterministic fault injection and recovery policies.
+
+Two halves:
+
+* **FaultInjector** — a seeded schedule of fault events over simulated
+  time (network partitions/degradation, endpoint outages, transient
+  engine failures, message corruption), declared as a
+  :class:`FaultSpec` (Python API or JSON file) and executed through the
+  simtime scheduler so the same seed always yields the same fault
+  timeline.
+* **Resilience policies** — per-process retry with exponential backoff
+  and jitter in virtual time, per-attempt timeouts, per-endpoint
+  circuit breakers with half-open probing, and a dead-letter queue for
+  poison messages, so a failed instance degrades gracefully instead of
+  aborting the benchmark period.
+
+Quick start::
+
+    from repro.resilience import FaultSpec, RetryPolicy
+
+    spec = FaultSpec.load("examples/faults_basic.json")
+    client = BenchmarkClient(scenario, engine, faults=spec,
+                             resilience=RetryPolicy(max_attempts=4))
+    result = client.run()
+    print(result.recovered_instances, result.dead_letter_instances)
+"""
+
+from repro.resilience.breaker import (
+    BreakerPolicy,
+    CLOSED,
+    CircuitBreaker,
+    CircuitBreakerBoard,
+    HALF_OPEN,
+    OPEN,
+)
+from repro.resilience.deadletter import DeadLetter, DeadLetterQueue
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultSpec,
+    corrupt_document,
+)
+from repro.resilience.injector import FaultInjector
+from repro.resilience.policy import (
+    BACKOFF_BUCKETS,
+    RETRYABLE_ERRORS,
+    ResilienceContext,
+    RetryPolicy,
+    is_retryable,
+)
+
+__all__ = [
+    "BACKOFF_BUCKETS",
+    "BreakerPolicy",
+    "CLOSED",
+    "CircuitBreaker",
+    "CircuitBreakerBoard",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSpec",
+    "HALF_OPEN",
+    "OPEN",
+    "RETRYABLE_ERRORS",
+    "ResilienceContext",
+    "RetryPolicy",
+    "corrupt_document",
+    "is_retryable",
+]

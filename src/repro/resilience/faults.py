@@ -1,0 +1,312 @@
+"""Fault specs: a declarative, seeded schedule of fault events.
+
+A :class:`FaultSpec` is the contract of one perturbation experiment: a
+seed plus a list of :class:`FaultEvent` entries placed on the benchmark
+period's virtual timeline (times in tu, like the Table II schedule).
+The same spec and seed always produce the same fault timeline — the
+resilience counterpart of the benchmark's reproducible workload scaling.
+
+Event kinds:
+
+``partition`` / ``heal``
+    Cut or restore the link between two hosts (drives
+    :meth:`Network.partition` / :meth:`Network.heal`).
+``degrade`` / ``restore_link``
+    Multiply the transfer cost of a host pair by ``factor`` (>= 1) or
+    clear that degradation.
+``outage`` / ``restore``
+    Take a registered service endpoint offline / back online.
+``engine_fault``
+    Arm ``count`` consecutive transient failures for one process type:
+    the next ``count`` instances raise :class:`TransientEngineFault`
+    before executing, succeeding again once exhausted.
+``corrupt``
+    Corrupt the next ``count`` inbound messages of one process so
+    delivery triggers a real :class:`XsdValidationError` (poison
+    messages, routed to the dead-letter queue).
+
+Every event may carry ``duration`` (tu): the spec then expands it into
+the paired recovery event (``heal``, ``restore_link`` or ``restore``)
+at ``at + duration``.  ``period`` pins an event to one benchmark period;
+without it the event recurs in every period.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import FaultSpecError
+from repro.xmlkit.doc import XmlElement
+
+#: Kinds that hit the network layer and need ``src``/``dst``.
+_LINK_KINDS = ("partition", "heal", "degrade", "restore_link")
+#: Kinds that hit a service endpoint and need ``service``.
+_SERVICE_KINDS = ("outage", "restore")
+#: Kinds that hit an engine/process and need ``process``.
+_PROCESS_KINDS = ("engine_fault", "corrupt")
+
+FAULT_KINDS = _LINK_KINDS + _SERVICE_KINDS + _PROCESS_KINDS
+
+#: The recovery event implied by ``duration``, per kind.
+_RECOVERY_OF = {
+    "partition": "heal",
+    "degrade": "restore_link",
+    "outage": "restore",
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault on the period timeline (``at`` in tu)."""
+
+    at: float
+    kind: str
+    src: str = ""
+    dst: str = ""
+    service: str = ""
+    process: str = ""
+    count: int = 1
+    factor: float = 2.0
+    duration: float | None = None
+    period: int | None = None
+
+    def validate(self) -> list[str]:
+        """Static problems with this event (empty list = valid)."""
+        problems: list[str] = []
+        where = f"event at t={self.at} ({self.kind or '?'})"
+        if self.kind not in FAULT_KINDS:
+            problems.append(
+                f"{where}: unknown kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+            return problems
+        if self.at < 0:
+            problems.append(f"{where}: time must be >= 0")
+        if self.kind in _LINK_KINDS and not (self.src and self.dst):
+            problems.append(f"{where}: needs src and dst hosts")
+        if self.kind in _SERVICE_KINDS and not self.service:
+            problems.append(f"{where}: needs a service name")
+        if self.kind in _PROCESS_KINDS and not self.process:
+            problems.append(f"{where}: needs a process id")
+        if self.kind in _PROCESS_KINDS and self.count < 1:
+            problems.append(f"{where}: count must be >= 1, got {self.count}")
+        if self.kind == "degrade" and self.factor < 1.0:
+            problems.append(
+                f"{where}: degradation factor must be >= 1, got {self.factor}"
+            )
+        if self.duration is not None:
+            if self.duration <= 0:
+                problems.append(f"{where}: duration must be > 0")
+            if self.kind not in _RECOVERY_OF:
+                problems.append(
+                    f"{where}: duration only applies to "
+                    f"{sorted(_RECOVERY_OF)}"
+                )
+        if self.period is not None and self.period < 0:
+            problems.append(f"{where}: period must be >= 0")
+        return problems
+
+    def recovery(self) -> "FaultEvent | None":
+        """The paired recovery event implied by ``duration``, if any."""
+        if self.duration is None or self.kind not in _RECOVERY_OF:
+            return None
+        return replace(
+            self,
+            at=self.at + self.duration,
+            kind=_RECOVERY_OF[self.kind],
+            duration=None,
+        )
+
+    def describe(self) -> str:
+        scope = "p*" if self.period is None else f"p{self.period}"
+        if self.kind in _LINK_KINDS:
+            target = f"{self.src}<->{self.dst}"
+            if self.kind == "degrade":
+                target += f" x{self.factor:g}"
+        elif self.kind in _SERVICE_KINDS:
+            target = f"service={self.service}"
+        else:
+            target = f"process={self.process} count={self.count}"
+        tail = f" for {self.duration:g}tu" if self.duration is not None else ""
+        return f"t={self.at:8.1f}  [{scope}]  {self.kind:<12} {target}{tail}"
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"at": self.at, "kind": self.kind}
+        for name in ("src", "dst", "service", "process"):
+            value = getattr(self, name)
+            if value:
+                out[name] = value
+        if self.kind in _PROCESS_KINDS and self.count != 1:
+            out["count"] = self.count
+        if self.kind == "degrade":
+            out["factor"] = self.factor
+        if self.duration is not None:
+            out["duration"] = self.duration
+        if self.period is not None:
+            out["period"] = self.period
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultEvent":
+        known = {
+            "at", "kind", "src", "dst", "service", "process",
+            "count", "factor", "duration", "period",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise FaultSpecError(
+                f"fault event has unknown keys {sorted(unknown)}"
+            )
+        if "at" not in data or "kind" not in data:
+            raise FaultSpecError(f"fault event needs 'at' and 'kind': {data}")
+        return cls(
+            at=float(data["at"]),
+            kind=str(data["kind"]),
+            src=str(data.get("src", "")),
+            dst=str(data.get("dst", "")),
+            service=str(data.get("service", "")),
+            process=str(data.get("process", "")),
+            count=int(data.get("count", 1)),
+            factor=float(data.get("factor", 2.0)),
+            duration=(
+                float(data["duration"]) if data.get("duration") is not None
+                else None
+            ),
+            period=(
+                int(data["period"]) if data.get("period") is not None
+                else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A named, seeded fault schedule (the JSON file the CLI consumes)."""
+
+    name: str = "faults"
+    seed: int = 0
+    events: tuple[FaultEvent, ...] = ()
+
+    def validate(
+        self,
+        hosts: Iterable[str] | None = None,
+        services: Iterable[str] | None = None,
+        processes: Iterable[str] | None = None,
+    ) -> list[str]:
+        """All problems with this spec; optionally cross-checked against
+        the known hosts/services/process ids of a scenario."""
+        problems: list[str] = []
+        for event in self.events:
+            problems.extend(event.validate())
+        hosts = set(hosts) if hosts is not None else None
+        services = set(services) if services is not None else None
+        processes = set(processes) if processes is not None else None
+        for event in self.events:
+            where = f"event at t={event.at} ({event.kind})"
+            if hosts is not None and event.kind in _LINK_KINDS:
+                for host in (event.src, event.dst):
+                    if host and host not in hosts:
+                        problems.append(
+                            f"{where}: unknown host {host!r}; "
+                            f"known: {sorted(hosts)}"
+                        )
+            if services is not None and event.kind in _SERVICE_KINDS:
+                if event.service and event.service not in services:
+                    problems.append(
+                        f"{where}: unknown service {event.service!r}"
+                    )
+            if processes is not None and event.kind in _PROCESS_KINDS:
+                if event.process and event.process not in processes:
+                    problems.append(
+                        f"{where}: unknown process {event.process!r}"
+                    )
+        return problems
+
+    def timeline(self, period: int) -> list[FaultEvent]:
+        """The effective events of one period (recoveries expanded),
+        in (time, declaration order)."""
+        expanded: list[FaultEvent] = []
+        for event in self.events:
+            if event.period is not None and event.period != period:
+                continue
+            expanded.append(event)
+            recovery = event.recovery()
+            if recovery is not None:
+                expanded.append(recovery)
+        # Python's sort is stable: ties keep declaration/expansion order.
+        return sorted(expanded, key=lambda e: e.at)
+
+    def describe(self) -> str:
+        lines = [
+            f"fault spec {self.name!r} (seed {self.seed}): "
+            f"{len(self.events)} declared event(s)"
+        ]
+        expanded: list[FaultEvent] = []
+        for event in self.events:
+            expanded.append(event)
+            recovery = event.recovery()
+            if recovery is not None:
+                expanded.append(recovery)
+        for event in sorted(expanded, key=lambda e: e.at):
+            lines.append("  " + event.describe())
+        return "\n".join(lines)
+
+    # -- JSON ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "seed": self.seed,
+                "events": [event.to_dict() for event in self.events],
+            },
+            indent=2,
+        ) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        if not isinstance(data, Mapping):
+            raise FaultSpecError(
+                f"fault spec must be a JSON object, got {type(data).__name__}"
+            )
+        events_raw = data.get("events", [])
+        if not isinstance(events_raw, Sequence) or isinstance(events_raw, str):
+            raise FaultSpecError("fault spec 'events' must be a list")
+        return cls(
+            name=str(data.get("name", "faults")),
+            seed=int(data.get("seed", 0)),
+            events=tuple(FaultEvent.from_dict(e) for e in events_raw),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultSpecError(f"fault spec is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+
+def corrupt_document(document: XmlElement, rng) -> str:
+    """Deterministically mutate ``document`` so it violates its XSD.
+
+    Two modes, chosen by the injector's seeded ``rng``: drop a required
+    attribute from the root (when it has one), or append an undeclared
+    child element.  Returns a short description of the mutation.
+    """
+    if document.attributes and rng.random() < 0.5:
+        victim = sorted(document.attributes)[0]
+        del document.attributes[victim]
+        return f"dropped root attribute {victim!r}"
+    document.add(XmlElement("__Corrupted__", text="injected"))
+    return "appended undeclared element <__Corrupted__>"

@@ -1,0 +1,181 @@
+"""Retry/backoff policy and the per-run resilience context.
+
+The :class:`RetryPolicy` prices failure handling in virtual time:
+exponential backoff with seeded jitter, an attempt cap, and an optional
+per-attempt timeout expressed as a virtual-time cost budget.  The
+:class:`ResilienceContext` bundles everything an engine needs while
+executing one run — policy, fault injector, circuit-breaker board,
+dead-letter queue, and the metric instruments that make recovery
+observable (retries, MTTR, recovered vs dead-lettered instances).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import (
+    AttemptTimeout,
+    CircuitOpenError,
+    EndpointUnavailableError,
+    NetworkError,
+    ResilienceError,
+    TransientEngineFault,
+)
+from repro.resilience.breaker import CircuitBreakerBoard
+from repro.resilience.deadletter import DeadLetter, DeadLetterQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.base import InstanceRecord
+    from repro.observability.metrics import MetricsRegistry
+    from repro.resilience.injector import FaultInjector
+
+#: Backoff-delay histogram buckets in engine units.
+BACKOFF_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: Exception classes worth retrying: transient by construction.
+RETRYABLE_ERRORS = (
+    NetworkError,
+    EndpointUnavailableError,
+    TransientEngineFault,
+    CircuitOpenError,
+    AttemptTimeout,
+)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Transient failures retry; validation/poison failures do not."""
+    return isinstance(exc, RETRYABLE_ERRORS)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter, in virtual time units.
+
+    ``delay(n)`` for attempt n (1-based) is
+    ``base_delay * multiplier**(n-1)``, capped at ``max_delay`` and
+    stretched by a seeded jitter factor in ``[1 - jitter, 1 + jitter]``.
+    ``timeout`` bounds one attempt's modeled cost (C_c + C_m + C_p); an
+    attempt over budget counts as a retryable :class:`AttemptTimeout`.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 4.0
+    multiplier: float = 2.0
+    max_delay: float = 64.0
+    jitter: float = 0.1
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ResilienceError(
+                f"max attempts must be >= 1: {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ResilienceError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ResilienceError(
+                f"backoff multiplier must be >= 1: {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ResilienceError(f"jitter must be in [0, 1): {self.jitter}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ResilienceError(f"timeout must be > 0: {self.timeout}")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before the attempt after failed attempt ``attempt``."""
+        raw = min(
+            self.base_delay * self.multiplier ** (attempt - 1), self.max_delay
+        )
+        if self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return raw
+
+
+class ResilienceContext:
+    """Everything resilience-related an engine sees during one run."""
+
+    def __init__(
+        self,
+        policy: RetryPolicy | None = None,
+        injector: "FaultInjector | None" = None,
+        breakers: CircuitBreakerBoard | None = None,
+        dead_letters: DeadLetterQueue | None = None,
+        metrics: "MetricsRegistry | None" = None,
+        seed: int = 0,
+    ):
+        self.policy = policy or RetryPolicy()
+        self.injector = injector
+        self.breakers = breakers
+        # `or` would discard a passed-in queue: an empty DeadLetterQueue
+        # is falsy through __len__.
+        self.dead_letters = (
+            dead_letters if dead_letters is not None else DeadLetterQueue()
+        )
+        self._metrics = metrics
+        #: Jitter RNG: consumed only on retries, so fault-free runs stay
+        #: byte-identical to runs without any resilience layer.
+        self._rng = random.Random(seed * 1_000_003 + 17)
+
+    # -- time ------------------------------------------------------------------
+
+    def at(self, now: float) -> None:
+        """Advance the fault timeline and breaker clock to ``now``."""
+        if self.injector is not None:
+            self.injector.advance_to(now)
+        if self.breakers is not None:
+            self.breakers.now = now
+
+    def begin_period(self, period: int) -> None:
+        if self.injector is not None:
+            self.injector.begin_period(period)
+        if self.breakers is not None:
+            self.breakers.reset()
+
+    def end_period(self) -> None:
+        if self.injector is not None:
+            self.injector.end_period()
+
+    # -- retry decisions -------------------------------------------------------
+
+    def retryable(self, exc: BaseException) -> bool:
+        return is_retryable(exc)
+
+    def next_delay(self, attempt: int) -> float:
+        return self.policy.delay(attempt, self._rng)
+
+    # -- accounting ------------------------------------------------------------
+
+    def observe_retry(self, process_id: str, delay: float) -> None:
+        if self._metrics is None:
+            return
+        self._metrics.counter(
+            "resilience_retries_total",
+            help="Execution attempts retried after a transient failure",
+            labels={"process": process_id},
+        ).inc()
+        self._metrics.histogram(
+            "resilience_backoff_delay",
+            buckets=BACKOFF_BUCKETS,
+            help="Backoff delay before a retry, in engine units",
+        ).observe(delay)
+
+    def account(self, record: "InstanceRecord", mttr: float | None) -> None:
+        """Book one finished (possibly retried) instance."""
+        if record.status == "dead-letter":
+            self.dead_letters.push(DeadLetter.from_record(record))
+            return
+        if record.status == "ok" and record.attempts > 1:
+            if self._metrics is not None:
+                self._metrics.counter(
+                    "resilience_recovered_total",
+                    help="Instances that recovered after >= 1 retry",
+                    labels={"process": record.process_id},
+                ).inc()
+                if mttr is not None:
+                    self._metrics.histogram(
+                        "resilience_mttr",
+                        help="Virtual time from first failure to the start "
+                             "of the successful attempt",
+                    ).observe(mttr)

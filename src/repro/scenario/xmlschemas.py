@@ -419,3 +419,22 @@ def cdb_order_schema() -> XsdSchema:
         ),
     )
     return XsdSchema("XSD_CdbOrder", root)
+
+
+# ----------------------------------------------------- inbound message schemas
+
+
+def message_schemas() -> dict[str, "XsdSchema"]:
+    """Inbound XSD per E1 message type.
+
+    The resilience layer's fault injector uses this map to validate
+    messages it corrupted, so poison messages fail with a real
+    ``XsdValidationError`` (violations preserved) at delivery time.
+    """
+    return {
+        "vienna_order": vienna_schema(),
+        "mdm_customer": mdm_schema(),
+        "beijing_master": beijing_schema(),
+        "hongkong_order": hongkong_schema(),
+        "sandiego_order": sandiego_schema(),
+    }

@@ -94,6 +94,9 @@ class ServiceEndpoint:
         self.name = name
         self.host = host
         self.call_count = 0
+        #: Outage switch (failure injection): the registry refuses calls
+        #: while False, raising ``EndpointUnavailableError``.
+        self.available = True
 
     def operations(self) -> list[str]:
         """Names of the operations this endpoint supports."""

@@ -60,6 +60,9 @@ class Network:
         self._hosts: set[str] = set()
         self._links: dict[tuple[str, str], Link] = {}
         self._partitioned: set[tuple[str, str]] = set()
+        #: Degradation factors per directed pair (failure injection):
+        #: transfer cost is multiplied by the factor while present.
+        self._degraded: dict[tuple[str, str], float] = {}
         # Transfer statistics live in a metrics registry (private by
         # default, shared with the run's Observability when bound), so
         # the benchmark's communication statistics and the observability
@@ -85,6 +88,10 @@ class Network:
         self._m_partition_errors = registry.counter(
             "network_partition_errors_total",
             help="Transfers refused because the host pair was partitioned",
+        )
+        self._m_degraded = registry.counter(
+            "network_degraded_transfers_total",
+            help="Transfers that paid a link-degradation surcharge",
         )
 
     @property
@@ -126,10 +133,39 @@ class Network:
             self._partitioned.add((dst, src))
 
     def heal(self, src: str, dst: str, symmetric: bool = True) -> None:
-        """Undo :meth:`partition`."""
+        """Undo :meth:`partition`; link parameters revert to their prior
+        values (overrides set with :meth:`set_link` survive a partition)."""
         self._partitioned.discard((src, dst))
         if symmetric:
             self._partitioned.discard((dst, src))
+
+    def degrade(self, src: str, dst: str, factor: float, symmetric: bool = True) -> None:
+        """Multiply the pair's transfer cost by ``factor`` (>= 1).
+
+        Models link-quality loss short of a full partition (the paper's
+        wireless links under interference).  Repeated calls replace, not
+        stack, the factor.
+        """
+        self._require(src)
+        self._require(dst)
+        if factor < 1.0:
+            raise NetworkError(f"degradation factor must be >= 1: {factor}")
+        self._degraded[(src, dst)] = factor
+        if symmetric:
+            self._degraded[(dst, src)] = factor
+
+    def restore_link(self, src: str, dst: str, symmetric: bool = True) -> None:
+        """Undo :meth:`degrade`; the link's prior cost applies again."""
+        self._degraded.pop((src, dst), None)
+        if symmetric:
+            self._degraded.pop((dst, src), None)
+
+    def is_partitioned(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._partitioned
+
+    def degradation(self, src: str, dst: str) -> float:
+        """The active cost multiplier for a directed pair (1.0 = clean)."""
+        return self._degraded.get((src, dst), 1.0)
 
     def _require(self, host: str) -> None:
         if host not in self._hosts:
@@ -163,4 +199,8 @@ class Network:
         if self.jitter:
             # Multiplicative jitter in [1 - j, 1 + j].
             cost *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        degradation = self._degraded.get((src, dst))
+        if degradation is not None:
+            cost *= degradation
+            self._m_degraded.inc()
         return cost

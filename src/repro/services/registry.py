@@ -10,9 +10,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import EndpointNotFound
+from typing import TYPE_CHECKING
+
+from repro.errors import EndpointNotFound, EndpointUnavailableError
 from repro.services.endpoints import Envelope, ServiceEndpoint
 from repro.services.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.breaker import CircuitBreakerBoard
 
 
 @dataclass(frozen=True)
@@ -39,6 +44,9 @@ class ServiceRegistry:
         self.network = network
         self._endpoints: dict[str, ServiceEndpoint] = {}
         self.calls_made = 0
+        #: Per-endpoint circuit breakers (attached by the resilience
+        #: layer; None keeps routing completely unguarded).
+        self.breakers: "CircuitBreakerBoard | None" = None
 
     def register(self, endpoint: ServiceEndpoint) -> ServiceEndpoint:
         if not self.network.has_host(endpoint.host):
@@ -61,15 +69,35 @@ class ServiceRegistry:
     def call(
         self, caller_host: str, service: str, request: Envelope
     ) -> ServiceCall:
-        """Route ``request`` to ``service`` and charge both transfer legs."""
+        """Route ``request`` to ``service`` and charge both transfer legs.
+
+        When a circuit-breaker board is attached, the call is gated
+        first (an open breaker raises ``CircuitOpenError`` without
+        touching the network) and its outcome is reported back, so
+        consecutive transport/endpoint failures trip the breaker.
+        """
         endpoint = self.lookup(service)
-        outbound = self.network.transfer_cost(
-            caller_host, endpoint.host, request.payload_units
-        )
-        response = endpoint.handle(request)
-        inbound = self.network.transfer_cost(
-            endpoint.host, caller_host, response.payload_units
-        )
+        if self.breakers is not None:
+            self.breakers.before_call(service)
+        try:
+            if not endpoint.available:
+                raise EndpointUnavailableError(
+                    f"service {service!r} on {endpoint.host} is unavailable "
+                    "(outage)"
+                )
+            outbound = self.network.transfer_cost(
+                caller_host, endpoint.host, request.payload_units
+            )
+            response = endpoint.handle(request)
+            inbound = self.network.transfer_cost(
+                endpoint.host, caller_host, response.payload_units
+            )
+        except Exception:
+            if self.breakers is not None:
+                self.breakers.record_failure(service)
+            raise
+        if self.breakers is not None:
+            self.breakers.record_success(service)
         self.calls_made += 1
         # C_c = network delay plus external processing costs (Section V).
         total = outbound + inbound + response.external_cost

@@ -95,6 +95,15 @@ class EventScheduler:
         while self._heap:
             yield self.pop()
 
+    def drain_until(self, deadline: float) -> Iterator[ScheduledEvent]:
+        """Yield events due at or before ``deadline``, advancing the clock.
+
+        The fault injector uses this to apply every fault whose time has
+        come whenever the engine advances virtual time.
+        """
+        while self._heap and self._heap[0].deadline <= deadline:
+            yield self.pop()
+
     def run(self, handler: Callable[[ScheduledEvent], None]) -> int:
         """Drain the queue through ``handler``; return the number handled."""
         handled = 0

@@ -17,7 +17,7 @@ special integration system":
 from repro.toolsuite.initializer import Initializer
 from repro.toolsuite.schedule import ScaleFactors, StreamSchedule, build_schedule
 from repro.toolsuite.client import BenchmarkClient, BenchmarkResult
-from repro.toolsuite.monitor import Monitor
+from repro.toolsuite.monitor import Monitor, ResilienceSummary
 from repro.toolsuite.verification import verify_period, VerificationReport
 from repro.toolsuite.quality import LayerQuality, QualityReport, measure_quality
 
@@ -29,6 +29,7 @@ __all__ = [
     "BenchmarkClient",
     "BenchmarkResult",
     "Monitor",
+    "ResilienceSummary",
     "verify_period",
     "VerificationReport",
     "LayerQuality",

@@ -20,15 +20,25 @@ back into tu.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.engine.base import InstanceRecord, IntegrationEngine, ProcessEvent
-from repro.errors import BenchmarkError
+from repro.errors import BenchmarkError, FaultSpecError
 from repro.metrics.navg import MetricReport
 from repro.observability import Observability, Span
 from repro.mtm.message import Message
+from repro.resilience import (
+    CircuitBreakerBoard,
+    DeadLetter,
+    DeadLetterQueue,
+    FaultInjector,
+    FaultSpec,
+    ResilienceContext,
+    RetryPolicy,
+)
 from repro.scenario.messages import MessageFactory, Population
 from repro.scenario.topology import Scenario
+from repro.scenario.xmlschemas import message_schemas
 from repro.simtime.clock import VirtualClock
 from repro.simtime.scheduler import EventScheduler
 from repro.toolsuite.initializer import Initializer
@@ -56,6 +66,8 @@ class BenchmarkResult:
     metrics: MetricReport
     verification: VerificationReport
     engine_name: str
+    #: Poison messages / exhausted retries, when resilience was on.
+    dead_letters: list[DeadLetter] = field(default_factory=list)
 
     @property
     def total_instances(self) -> int:
@@ -64,6 +76,19 @@ class BenchmarkResult:
     @property
     def error_instances(self) -> int:
         return sum(1 for r in self.records if r.status != "ok")
+
+    @property
+    def recovered_instances(self) -> int:
+        """Instances that completed only after at least one retry."""
+        return sum(1 for r in self.records if r.recovered)
+
+    @property
+    def dead_letter_instances(self) -> int:
+        return sum(1 for r in self.records if r.status == "dead-letter")
+
+    @property
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.records)
 
 
 class BenchmarkClient:
@@ -78,6 +103,8 @@ class BenchmarkClient:
         seed: int = 42,
         sandiego_error_rate: float = 0.15,
         observability: Observability | None = None,
+        faults: FaultSpec | None = None,
+        resilience: RetryPolicy | None = None,
     ):
         if periods < 1 or periods > 100:
             raise BenchmarkError(f"periods must be in [1, 100]: {periods}")
@@ -106,6 +133,46 @@ class BenchmarkClient:
         self.monitor = Monitor(
             time_scale=self.factors.time, observability=self.observability
         )
+        #: Fault injection + recovery policies.  Attached exactly when a
+        #: fault spec or a retry policy is given; otherwise the engine
+        #: keeps its classic fail-fast path, byte-identical to a client
+        #: built without these arguments.
+        self.fault_spec = faults
+        self.resilience: ResilienceContext | None = None
+        if faults is not None or resilience is not None:
+            metrics = self.observability.metrics
+            injector = None
+            if faults is not None:
+                problems = faults.validate(
+                    hosts=self.scenario.registry.network.hosts,
+                    services=self.scenario.registry.service_names,
+                )
+                if problems:
+                    raise FaultSpecError(
+                        "invalid fault spec: " + "; ".join(problems)
+                    )
+                injector = FaultInjector(
+                    faults,
+                    registry=self.scenario.registry,
+                    factors=self.factors,
+                    schemas=message_schemas(),
+                    metrics=metrics if metrics.enabled else None,
+                )
+            breakers = CircuitBreakerBoard(
+                metrics=metrics if metrics.enabled else None
+            )
+            self.resilience = ResilienceContext(
+                policy=resilience,
+                injector=injector,
+                breakers=breakers,
+                dead_letters=DeadLetterQueue(
+                    metrics=metrics if metrics.enabled else None
+                ),
+                metrics=metrics if metrics.enabled else None,
+                seed=seed + (faults.seed if faults is not None else 0),
+            )
+            self.engine.resilience = self.resilience
+            self.scenario.registry.breakers = breakers
         self._last_factory: MessageFactory | None = None
         self._last_population: Population | None = None
         #: Global virtual-time offset: each period's clock restarts at
@@ -151,6 +218,11 @@ class BenchmarkClient:
             metrics=metrics,
             verification=verification,
             engine_name=self.engine.engine_name,
+            dead_letters=(
+                list(self.resilience.dead_letters)
+                if self.resilience is not None
+                else []
+            ),
         )
 
     def _phase_pre(self) -> None:
@@ -197,6 +269,10 @@ class BenchmarkClient:
         self._last_factory = factory
         self._last_population = population
         self.engine.reset_workers()
+        if self.resilience is not None:
+            # Arm this period's fault timeline on a clean slate (prior
+            # partitions healed, endpoints restored, breakers reset).
+            self.resilience.begin_period(period)
         records_before = len(self.engine.records)
         if tracer.enabled:
             self._stream_spans = {
@@ -210,6 +286,10 @@ class BenchmarkClient:
 
         completions = self._run_message_streams(period, factory)
         self._run_dependent_streams(period, completions)
+        if self.resilience is not None:
+            # Heal whatever the spec never recovered so phase post and
+            # the next period start from an intact landscape.
+            self.resilience.end_period()
 
         new_records = self.engine.records[records_before:]
         self.monitor.absorb(new_records)
@@ -239,12 +319,21 @@ class BenchmarkClient:
         return new_records
 
     def _handle_in_stream(self, event: ProcessEvent) -> InstanceRecord:
-        """Run one event with its stream span as the span parent."""
+        """Run one event with its stream span as the span parent.
+
+        An exception escaping ``handle_event`` itself (deployment or
+        configuration errors — instance failures are already absorbed
+        inside it) must not abort the whole benchmark run: it becomes an
+        error record and the period continues.
+        """
         stream_span = self._stream_spans.get(event.stream)
-        if stream_span is None:
-            return self.engine.handle_event(event)
-        with self.observability.tracer.use_parent(stream_span):
-            return self.engine.handle_event(event)
+        try:
+            if stream_span is None:
+                return self.engine.handle_event(event)
+            with self.observability.tracer.use_parent(stream_span):
+                return self.engine.handle_event(event)
+        except Exception as exc:
+            return self.engine.record_failure(event, exc)
 
     def _run_message_streams(
         self, period: int, factory: MessageFactory
@@ -269,10 +358,19 @@ class BenchmarkClient:
                     self.factors.tu_to_engine(deadline_tu), process_id
                 )
 
+        injector = (
+            self.resilience.injector if self.resilience is not None else None
+        )
         completions: dict[str, float] = {}
         for event in scheduler.drain():
             process_id = event.payload
+            if injector is not None:
+                # Apply fault events due by this arrival so an armed
+                # corruption can hit the message right as it is built.
+                injector.advance_to(event.deadline)
             message = builders[process_id]()
+            if injector is not None:
+                injector.maybe_corrupt(process_id, message)
             record = self._handle_in_stream(
                 ProcessEvent(
                     process_id,

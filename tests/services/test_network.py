@@ -116,3 +116,64 @@ class TestPartitions:
         assert net.transfer_cost("IS", "ES", 0.0) > 0
         with pytest.raises(NetworkError):
             net.transfer_cost("ES", "IS", 0.0)
+
+    def test_heal_restores_prior_link_cost(self, net):
+        net.set_link("ES", "IS", Link(latency=10.0, bandwidth=1.0))
+        before = net.transfer_cost("ES", "IS", 5.0)
+        net.partition("ES", "IS")
+        net.heal("ES", "IS")
+        assert net.transfer_cost("ES", "IS", 5.0) == pytest.approx(before)
+
+    def test_same_host_transfers_unaffected_by_partition(self, net):
+        net.partition("ES", "IS")
+        assert net.transfer_cost("ES", "ES", 1000.0) == 0.0
+        assert net.transfer_cost("IS", "IS", 1000.0) == 0.0
+
+    def test_is_partitioned(self, net):
+        assert not net.is_partitioned("ES", "IS")
+        net.partition("ES", "IS")
+        assert net.is_partitioned("ES", "IS")
+        assert net.is_partitioned("IS", "ES")
+        net.heal("ES", "IS")
+        assert not net.is_partitioned("ES", "IS")
+
+
+class TestDegradation:
+    def test_degrade_multiplies_cost(self, net):
+        base = net.transfer_cost("ES", "IS", 100.0)
+        net.degrade("ES", "IS", 2.5)
+        assert net.transfer_cost("ES", "IS", 100.0) == pytest.approx(2.5 * base)
+
+    def test_degrade_is_symmetric_by_default(self, net):
+        base = net.transfer_cost("IS", "ES", 100.0)
+        net.degrade("ES", "IS", 2.0)
+        assert net.transfer_cost("IS", "ES", 100.0) == pytest.approx(2.0 * base)
+
+    def test_one_way_degrade(self, net):
+        base = net.transfer_cost("IS", "ES", 100.0)
+        net.degrade("ES", "IS", 4.0, symmetric=False)
+        assert net.transfer_cost("IS", "ES", 100.0) == pytest.approx(base)
+        assert net.transfer_cost("ES", "IS", 100.0) == pytest.approx(4.0 * base)
+
+    def test_restore_link_clears_degradation(self, net):
+        base = net.transfer_cost("ES", "IS", 100.0)
+        net.degrade("ES", "IS", 3.0)
+        net.restore_link("ES", "IS")
+        assert net.transfer_cost("ES", "IS", 100.0) == pytest.approx(base)
+        assert net.degradation("ES", "IS") == 1.0
+
+    def test_degrade_replaces_not_stacks(self, net):
+        base = net.transfer_cost("ES", "IS", 100.0)
+        net.degrade("ES", "IS", 2.0)
+        net.degrade("ES", "IS", 3.0)
+        assert net.transfer_cost("ES", "IS", 100.0) == pytest.approx(3.0 * base)
+
+    def test_factor_below_one_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.degrade("ES", "IS", 0.5)
+
+    def test_degraded_transfer_still_counted(self, net):
+        net.degrade("ES", "IS", 2.0)
+        net.transfer_cost("ES", "IS", 10.0)
+        assert net.transfer_count == 1
+        assert net.payload_units_total == 10.0

@@ -78,3 +78,52 @@ class TestCostAccounting:
         _, registry, _ = setup
         registry.call("IS", "remote", Envelope.query_request("t"))
         assert registry.calls_made == 1
+
+
+class TestResilienceGates:
+    def test_unavailable_endpoint_raises(self, setup):
+        from repro.errors import EndpointUnavailableError
+
+        _, registry, db = setup
+        registry.lookup("remote").available = False
+        with pytest.raises(EndpointUnavailableError, match="remote"):
+            registry.call(
+                "IS", "remote", Envelope.update_request("t", [{"k": 1}])
+            )
+        assert len(db.table("t")) == 0  # the call never reached the service
+        registry.lookup("remote").available = True
+        registry.call("IS", "remote", Envelope.update_request("t", [{"k": 1}]))
+        assert len(db.table("t")) == 1
+
+    def test_breaker_board_gates_and_records(self, setup):
+        from repro.errors import CircuitOpenError, EndpointUnavailableError
+        from repro.resilience import BreakerPolicy, CircuitBreakerBoard
+
+        _, registry, db = setup
+        registry.breakers = CircuitBreakerBoard(
+            BreakerPolicy(failure_threshold=2, reset_timeout=100.0)
+        )
+        registry.lookup("remote").available = False
+        for _ in range(2):
+            with pytest.raises(EndpointUnavailableError):
+                registry.call(
+                    "IS", "remote", Envelope.update_request("t", [{"k": 1}])
+                )
+        # Threshold reached: the breaker now fails fast even though the
+        # endpoint came back.
+        registry.lookup("remote").available = True
+        with pytest.raises(CircuitOpenError):
+            registry.call(
+                "IS", "remote", Envelope.update_request("t", [{"k": 1}])
+            )
+        assert len(db.table("t")) == 0
+
+    def test_breaker_success_path_records(self, setup):
+        from repro.resilience import CircuitBreakerBoard
+
+        _, registry, _ = setup
+        registry.breakers = CircuitBreakerBoard()
+        registry.call("IS", "remote", Envelope.update_request("t", [{"k": 1}]))
+        breaker = registry.breakers.breaker("remote")
+        assert breaker.state == "closed"
+        assert breaker.consecutive_failures == 0

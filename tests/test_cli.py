@@ -116,3 +116,65 @@ class TestTraceCommand:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["fly"])
+
+
+class TestFaultsCommand:
+    def test_valid_spec_described(self, capsys):
+        assert main(["faults", "examples/faults_basic.json"]) == 0
+        out = capsys.readouterr().out
+        assert "basic-degraded-run" in out
+        assert "partition" in out and "heal" in out
+        assert "spec is valid" in out
+
+    def test_invalid_reference_rejected(self, capsys, tmp_path):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({
+            "name": "bad", "seed": 1,
+            "events": [{"at": 1.0, "kind": "outage", "service": "ghost"}],
+        }))
+        assert main(["faults", str(spec)]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out
+        assert "unknown service 'ghost'" in out
+
+    def test_unreadable_spec_rejected(self, capsys, tmp_path):
+        assert main(["faults", str(tmp_path / "missing.json")]) == 1
+        assert "cannot load" in capsys.readouterr().err
+
+
+class TestRunWithFaults:
+    def test_degraded_run_reports_resilience(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.prom"
+        status = main([
+            "run", "--periods", "2", "--quiet",
+            "--faults", "examples/faults_basic.json",
+            "--metrics-out", str(metrics),
+        ])
+        assert status == 0  # clean final period: verification passes
+        out = capsys.readouterr().out
+        assert "resilience:" in out
+        assert "recovered=3" in out
+        assert "dead letters:" in out
+        assert "XsdValidationError" in out
+        prom = metrics.read_text()
+        assert "resilience_recovered_total" in prom
+        assert "resilience_dead_letters_total" in prom
+
+    def test_bad_spec_file_exits_2(self, capsys, tmp_path):
+        assert main([
+            "run", "--periods", "1", "--quiet",
+            "--faults", str(tmp_path / "missing.json"),
+        ]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_unknown_target_exits_2(self, capsys, tmp_path):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({
+            "name": "bad", "seed": 1,
+            "events": [{"at": 1.0, "kind": "partition",
+                        "src": "XX", "dst": "IS"}],
+        }))
+        assert main([
+            "run", "--periods", "1", "--quiet", "--faults", str(spec),
+        ]) == 2
+        assert "invalid fault spec" in capsys.readouterr().err

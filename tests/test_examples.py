@@ -27,6 +27,13 @@ class TestExamples:
         assert "store_north price_list" in out
         assert "fork:fan_out" in out
 
+    def test_degraded_run(self, capsys):
+        out = run_example("degraded_run.py", capsys)
+        assert "fault spec 'basic-degraded-run'" in out
+        assert "recovered=3" in out
+        assert "dead letter: P04" in out
+        assert "verification OK" in out
+
     def test_data_quality_report(self, capsys):
         out = run_example("data_quality_report.py", capsys)
         assert "quality gradient monotone: True" in out
