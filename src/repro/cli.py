@@ -9,6 +9,9 @@ Usage (also available as ``python -m repro``)::
     python -m repro run --plot plot.svg --report report.txt
     python -m repro run --trace-out trace.json --metrics-out metrics.prom
     python -m repro run --faults examples/faults_basic.json
+    python -m repro run --durability snapshot+wal --checkpoint-every 50 \\
+        --faults examples/faults_crash.json
+    python -m repro recover --engine federated --crash-at 300
     python -m repro trace --engine interpreter --periods 2 --out trace.json
     python -m repro schedule --period 0 --datasize 0.05
     python -m repro faults examples/faults_basic.json
@@ -34,8 +37,9 @@ from repro.engine import (
 from repro.errors import FaultSpecError
 from repro.mtm.process import validate_definition
 from repro.observability import Observability
-from repro.resilience import FaultSpec, RetryPolicy
+from repro.resilience import FaultEvent, FaultSpec, RetryPolicy
 from repro.scenario import PROCESS_TABLE, build_processes, build_scenario
+from repro.storage import DURABILITY_MODES, landscape_digest
 from repro.toolsuite import BenchmarkClient, ScaleFactors
 from repro.toolsuite.schedule import build_schedule
 
@@ -91,6 +95,46 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-attempts", type=int, default=4,
                      help="retry budget per process instance when "
                           "--faults is given (default 4)")
+    run.add_argument("--durability", choices=("off",) + DURABILITY_MODES,
+                     default="off",
+                     help="durability mode: off (default), wal "
+                          "(period-baseline checkpoint + redo log) or "
+                          "snapshot+wal (plus periodic checkpoints)")
+    run.add_argument("--checkpoint-every", type=float, metavar="TU",
+                     help="checkpoint cadence in tu for "
+                          "--durability snapshot+wal")
+
+    recover = commands.add_parser(
+        "recover",
+        help="crash the engine mid-period, recover from snapshot+WAL and "
+             "verify byte-identical convergence against a fault-free run",
+    )
+    recover.add_argument("--engine", choices=sorted(ENGINES),
+                         default="interpreter")
+    recover.add_argument("--datasize", type=float, default=0.05)
+    recover.add_argument("--time", type=float, default=1.0)
+    recover.add_argument("--periods", type=int, default=1)
+    recover.add_argument("--seed", type=int, default=42)
+    recover.add_argument("--workers", type=int, default=4)
+    recover.add_argument("--durability", choices=DURABILITY_MODES,
+                         default="snapshot+wal")
+    recover.add_argument("--checkpoint-every", type=float, default=50.0,
+                         metavar="TU",
+                         help="checkpoint cadence in tu (default 50)")
+    recover.add_argument("--crash-at", type=float, default=300.0,
+                         metavar="T",
+                         help="engine time of the crash in period 0 "
+                              "(default 300)")
+    recover.add_argument("--crash-point", choices=("arrival", "commit"),
+                         default="commit",
+                         help="kill before admission or right after the "
+                              "instance commits (default commit)")
+    recover.add_argument("--faults", metavar="SPEC.json",
+                         help="use this fault spec instead of the "
+                              "synthesized single crash")
+    recover.add_argument("--metrics-out", metavar="FILE.prom",
+                         help="write the crash run's metrics registry "
+                              "as Prometheus text")
 
     trace = commands.add_parser(
         "trace",
@@ -163,6 +207,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             scenario, engine, factors, periods=args.periods, seed=args.seed,
             observability=observability,
             faults=faults, resilience=resilience,
+            durability=args.durability,
+            checkpoint_every=args.checkpoint_every,
         )
     except FaultSpecError as exc:
         print(f"error: invalid fault spec {args.faults}: {exc}",
@@ -187,6 +233,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     f"t={letter.time:.1f} attempts={letter.attempts} "
                     f"{letter.error}"
                 )
+    if client.storage is not None:
+        stats = client.storage.stats()
+        print(
+            f"durability: mode={stats['mode']} commits={stats['commits']} "
+            f"flushes={stats['flushes']} wal_records={stats['wal_records']} "
+            f"checkpoints={stats['checkpoints']} crashes={stats['crashes']}"
+        )
+        print(client.monitor.recovery_summary().describe())
+        for report in result.recovery_reports:
+            print(f"  {report.describe()}")
     print()
     print(table)
     if not args.quiet:
@@ -211,6 +267,95 @@ def _cmd_run(args: argparse.Namespace) -> int:
         observability.write_prometheus(args.metrics_out)
         print(f"metrics written to {args.metrics_out}")
     return 0 if result.verification.ok else 1
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Crash + recover, then prove convergence against a clean run.
+
+    Two runs at the same seed and scale: a fault-free baseline and a run
+    that hard-kills the engine at ``--crash-at`` and recovers from the
+    durability logs.  Convergence is byte-identity of the final landscape
+    digest and of every per-instance record (hence identical NAVG+).
+    """
+    factors = ScaleFactors(datasize=args.datasize, time=args.time)
+    if args.faults:
+        try:
+            faults = FaultSpec.load(args.faults)
+        except (OSError, FaultSpecError) as exc:
+            print(f"error: cannot load fault spec {args.faults}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        faults = FaultSpec(
+            name="recover-cli",
+            seed=args.seed,
+            events=(FaultEvent(at=args.crash_at, kind="crash",
+                               point=args.crash_point, period=0),),
+        )
+
+    def execute(with_crash: bool):
+        scenario = build_scenario(seed=args.seed)
+        engine = ENGINES[args.engine](
+            scenario.registry, worker_count=args.workers
+        )
+        observability = (
+            Observability()
+            if with_crash and args.metrics_out else None
+        )
+        kwargs = {}
+        if with_crash:
+            kwargs = {
+                "faults": faults,
+                "durability": args.durability,
+                "checkpoint_every": args.checkpoint_every,
+                "observability": observability,
+            }
+        client = BenchmarkClient(
+            scenario, engine, factors,
+            periods=args.periods, seed=args.seed, **kwargs,
+        )
+        result = client.run()
+        digest = landscape_digest(scenario.all_databases.values())
+        return client, result, digest, observability
+
+    print(f"baseline: engine={args.engine} seed={args.seed} "
+          f"d={args.datasize} t={args.time} periods={args.periods}")
+    _, base, base_digest, _ = execute(with_crash=False)
+    print(f"  instances={base.total_instances} "
+          f"verification={'ok' if base.verification.ok else 'FAILED'}")
+
+    print(f"crash run: kind=crash point={args.crash_point} "
+          f"at={args.crash_at} durability={args.durability} "
+          f"checkpoint_every={args.checkpoint_every}")
+    try:
+        client, crashed, digest, observability = execute(with_crash=True)
+    except FaultSpecError as exc:
+        print(f"error: invalid fault spec: {exc}", file=sys.stderr)
+        return 2
+    print(f"  instances={crashed.total_instances} "
+          f"recoveries={crashed.recoveries} "
+          f"verification={'ok' if crashed.verification.ok else 'FAILED'}")
+    for report in crashed.recovery_reports:
+        print(f"  {report.describe()}")
+    print(f"  {client.monitor.recovery_summary().describe()}")
+    if observability is not None and args.metrics_out:
+        observability.write_prometheus(args.metrics_out)
+        print(f"  metrics written to {args.metrics_out}")
+
+    records_equal = crashed.records == base.records
+    digests_equal = digest == base_digest
+    print(f"records byte-identical: {'yes' if records_equal else 'NO'}")
+    print(f"landscape digest equal: {'yes' if digests_equal else 'NO'}")
+    if crashed.recoveries == 0:
+        print("DIVERGED: the fault schedule produced no recovery "
+              "(crash time outside the period?)")
+        return 1
+    if records_equal and digests_equal and crashed.verification.ok:
+        print("CONVERGED: crash recovery reproduced the fault-free run "
+              "byte-identically")
+        return 0
+    print("DIVERGED: recovery did not reproduce the fault-free run")
+    return 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -328,6 +473,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {
         "run": _cmd_run,
+        "recover": _cmd_recover,
         "trace": _cmd_trace,
         "schedule": _cmd_schedule,
         "faults": _cmd_faults,

@@ -84,6 +84,9 @@ class MaterializedView:
         self._definition = definition
         self._snapshot: Relation | None = None
         self.refresh_count = 0
+        #: Durability hook (same signature as Table.listener); refreshes
+        #: are journaled as recompute instructions, not materialized rows.
+        self.listener: Callable[[str, str, tuple], None] | None = None
 
     @property
     def is_populated(self) -> bool:
@@ -101,8 +104,12 @@ class MaterializedView:
         """Recompute the snapshot; returns the new row count."""
         self._snapshot = self._definition(database)
         self.refresh_count += 1
+        if self.listener is not None:
+            self.listener(self.name, "mv_refresh", ())
         return len(self._snapshot)
 
     def invalidate(self) -> None:
         """Drop the snapshot (used by the Initializer's uninitialize step)."""
         self._snapshot = None
+        if self.listener is not None:
+            self.listener(self.name, "mv_invalidate", ())

@@ -15,7 +15,7 @@ from repro.errors import ProcedureError, SchemaError
 from repro.db.active import MaterializedView, StoredProcedure, Trigger
 from repro.db.relation import Relation, Row
 from repro.db.schema import TableSchema
-from repro.db.table import Table
+from repro.db.table import ChangeListener, Table
 
 
 @dataclass(frozen=True)
@@ -56,6 +56,10 @@ class Database:
         self._triggers: dict[str, Trigger] = {}
         self._procedures: dict[str, StoredProcedure] = {}
         self._views: dict[str, MaterializedView] = {}
+        # Durability hook, fanned out to every table and view.  Code
+        # objects (trigger/procedure/view bodies) are *not* journaled:
+        # redeployment re-establishes them before redo runs.
+        self._listener: ChangeListener | None = None
 
     def __repr__(self) -> str:
         return f"Database({self.name}, tables={sorted(self._tables)})"
@@ -67,6 +71,9 @@ class Database:
             raise SchemaError(f"{self.name}: table {schema.name} already exists")
         table = Table(schema)
         self._tables[schema.name] = table
+        if self._listener is not None:
+            table.listener = self._listener
+            self._listener(schema.name, "create_table", (schema,))
         return table
 
     def drop_table(self, name: str) -> None:
@@ -78,6 +85,8 @@ class Database:
             for trig_name, trig in self._triggers.items()
             if trig.table != name
         }
+        if self._listener is not None:
+            self._listener(name, "drop_table", ())
 
     def table(self, name: str) -> Table:
         try:
@@ -91,6 +100,22 @@ class Database:
     @property
     def table_names(self) -> list[str]:
         return sorted(self._tables)
+
+    def list_indexes(self) -> dict[str, list[tuple[str, tuple[str, ...]]]]:
+        """All secondary indexes: table name -> [(index, columns), ...].
+
+        The counterpart to :meth:`Table.create_index` /
+        :meth:`Table.drop_index`; recovery uses it to re-declare indexes
+        idempotently after a snapshot restore.
+        """
+        return {
+            name: [
+                (index_name, table.index_columns(index_name))
+                for index_name in table.index_names
+            ]
+            for name, table in sorted(self._tables.items())
+            if table.index_names
+        }
 
     # -- triggers / procedures / views -----------------------------------------
 
@@ -186,6 +211,83 @@ class Database:
             table.truncate()
         for view in self._views.values():
             view.invalidate()
+
+    # -- durability support ------------------------------------------------------
+
+    def set_change_listener(self, listener: ChangeListener | None) -> None:
+        """Attach (or detach, with None) the WAL's change hook.
+
+        Fans the hook out to every current table and materialized view;
+        tables created later inherit it through :meth:`create_table`.
+        """
+        self._listener = listener
+        for table in self._tables.values():
+            table.listener = listener
+        for view in self._views.values():
+            view.listener = listener
+
+    def counter_state(self) -> dict[str, dict]:
+        """Exact I/O and activity counters, for checkpoint/commit records.
+
+        Recovery restores these verbatim so replayed work is never
+        double-counted into the engine's processing-cost model.
+        """
+        return {
+            "tables": {
+                name: (table.rows_read, table.rows_written)
+                for name, table in self._tables.items()
+            },
+            "triggers": {
+                name: trigger.fire_count
+                for name, trigger in self._triggers.items()
+            },
+            "procedures": {
+                name: procedure.call_count
+                for name, procedure in self._procedures.items()
+            },
+            "views": {
+                name: view.refresh_count for name, view in self._views.items()
+            },
+        }
+
+    def restore_counter_state(self, state: Mapping[str, dict]) -> None:
+        """Overwrite counters with a previously captured :meth:`counter_state`."""
+        for name, (rows_read, rows_written) in state.get("tables", {}).items():
+            if name in self._tables:
+                self._tables[name].rows_read = rows_read
+                self._tables[name].rows_written = rows_written
+        for name, fire_count in state.get("triggers", {}).items():
+            if name in self._triggers:
+                self._triggers[name].fire_count = fire_count
+        for name, call_count in state.get("procedures", {}).items():
+            if name in self._procedures:
+                self._procedures[name].call_count = call_count
+        for name, refresh_count in state.get("views", {}).items():
+            if name in self._views:
+                self._views[name].refresh_count = refresh_count
+
+    def redo(self, target: str, op: str, payload: tuple) -> None:
+        """Re-apply one WAL record (crash-recovery redo).
+
+        Table-level ops go straight to :meth:`Table.redo` — triggers do
+        *not* re-fire, because the trigger's own effects were journaled as
+        separate records when they originally ran.  MV records recompute
+        the view from the already-restored base tables, which is
+        deterministic by construction.
+        """
+        if op == "create_table":
+            if target in self._tables:
+                del self._tables[target]
+            self.create_table(payload[0])
+        elif op == "drop_table":
+            if target in self._tables:
+                self.drop_table(target)
+        elif op == "mv_refresh":
+            self.materialized_view(target).refresh(self)
+        elif op == "mv_invalidate":
+            self.materialized_view(target).invalidate()
+        else:
+            self.table(target).redo(op, payload)
 
     def statistics(self) -> DatabaseStatistics:
         return DatabaseStatistics(

@@ -4,10 +4,23 @@ Tables enforce column types (with coercion), NOT NULL and primary-key
 uniqueness on every write.  Secondary hash indexes can be declared for the
 equality lookups the scenario runs constantly (e.g. finding a customer's
 master data during message enrichment, P04).
+
+Indexes are maintained *incrementally* on the row-level paths (insert,
+upsert, update): the pk entry and each secondary bucket are patched in
+place, with :func:`bisect.insort` keeping bucket positions ascending so
+lookups return rows in exactly the order a full rebuild would.  Only the
+bulk paths (multi-row delete, truncate, snapshot restore) still pay the
+O(n) rebuild.
+
+Every mutation can be observed through :attr:`Table.listener` — the hook
+the :mod:`repro.storage` write-ahead log uses to journal logical change
+records.  With no listener attached (the default) the only overhead is
+one ``is None`` test per statement, keeping the plain run byte-identical.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import IntegrityError, QueryError, SchemaError
@@ -15,6 +28,9 @@ from repro.db.expressions import Expression
 from repro.db.relation import Relation, Row
 from repro.db.schema import TableSchema
 from repro.db.types import coerce_value
+
+#: Signature of the change hook: ``listener(table_name, op, payload)``.
+ChangeListener = Callable[[str, str, tuple], None]
 
 
 class Table:
@@ -35,6 +51,8 @@ class Table:
         # Counters feeding the engine's processing-cost model.
         self.rows_read = 0
         self.rows_written = 0
+        #: Change hook for the durability layer (None = no journaling).
+        self.listener: ChangeListener | None = None
 
     # -- introspection -----------------------------------------------------------
 
@@ -65,8 +83,35 @@ class Table:
         for position, row in enumerate(self._rows):
             mapping.setdefault(tuple(row[c] for c in cols), []).append(position)
         self._secondary[index_name] = (cols, mapping)
+        if self.listener is not None:
+            self.listener(self.name, "create_index", (index_name, cols))
+
+    def drop_index(self, index_name: str) -> None:
+        """Drop a secondary index (parity with :meth:`create_index`)."""
+        if index_name not in self._secondary:
+            raise SchemaError(f"table {self.name}: no index {index_name!r}")
+        del self._secondary[index_name]
+        if self.listener is not None:
+            self.listener(self.name, "drop_index", (index_name,))
+
+    def has_index(self, index_name: str) -> bool:
+        return index_name in self._secondary
+
+    @property
+    def index_names(self) -> list[str]:
+        return sorted(self._secondary)
+
+    def index_columns(self, index_name: str) -> tuple[str, ...]:
+        """The indexed column tuple of one secondary index."""
+        try:
+            return self._secondary[index_name][0]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name}: no index {index_name!r}"
+            ) from None
 
     def _rebuild_indexes(self) -> None:
+        """Full O(n) rebuild — the bulk path (delete/truncate/restore)."""
         if self._pk_index is not None:
             self._pk_index = {
                 self.schema.pk_of(row): position
@@ -77,6 +122,41 @@ class Table:
             for position, row in enumerate(self._rows):
                 mapping.setdefault(tuple(row[c] for c in cols), []).append(position)
             self._secondary[index_name] = (cols, mapping)
+
+    def _reindex_row(self, position: int, old_row: Row, new_row: Row) -> None:
+        """Incrementally move one replaced row's index entries.
+
+        Buckets keep ascending positions (``insort``) so lookups return
+        rows in the same order a full rebuild would produce; emptied
+        buckets are removed to match the rebuilt shape.
+        """
+        if self._pk_index is not None:
+            old_key = self.schema.pk_of(old_row)
+            new_key = self.schema.pk_of(new_row)
+            if new_key != old_key:
+                if self._pk_index.get(old_key) == position:
+                    del self._pk_index[old_key]
+                self._pk_index[new_key] = position
+        for cols, mapping in self._secondary.values():
+            old_key = tuple(old_row[c] for c in cols)
+            new_key = tuple(new_row[c] for c in cols)
+            if old_key == new_key:
+                continue
+            bucket = mapping.get(old_key)
+            if bucket is not None:
+                try:
+                    bucket.remove(position)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                if not bucket:
+                    del mapping[old_key]
+            insort(mapping.setdefault(new_key, []), position)
+
+    def _replace_at(self, position: int, new_row: Row) -> None:
+        """Replace the row at ``position``, patching indexes in place."""
+        old_row = self._rows[position]
+        self._rows[position] = new_row
+        self._reindex_row(position, old_row, new_row)
 
     # -- DML -------------------------------------------------------------------
 
@@ -111,6 +191,8 @@ class Table:
         for cols, mapping in self._secondary.values():
             mapping.setdefault(tuple(row[c] for c in cols), []).append(position)
         self.rows_written += 1
+        if self.listener is not None:
+            self.listener(self.name, "insert", (row,))
         return row
 
     def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
@@ -134,9 +216,10 @@ class Table:
         position = self._pk_index.get(key)
         if position is None:
             return self.insert(values)
-        self._rows[position] = row
-        self._rebuild_indexes()
+        self._replace_at(position, row)
         self.rows_written += 1
+        if self.listener is not None:
+            self.listener(self.name, "upsert", (row,))
         return row
 
     def delete(self, predicate: Expression | Callable[[Row], Any] | None = None) -> int:
@@ -144,17 +227,29 @@ class Table:
         if predicate is None:
             removed = len(self._rows)
             self._rows.clear()
+            if removed:
+                self._rebuild_indexes()
+                self.rows_written += removed
+                if self.listener is not None:
+                    self.listener(self.name, "truncate", (removed,))
+            return removed
+        if isinstance(predicate, Expression):
+            matches = predicate.evaluate
+            removed_at = [
+                p for p, r in enumerate(self._rows) if matches(r) is True
+            ]
         else:
-            if isinstance(predicate, Expression):
-                keep = [r for r in self._rows if predicate.evaluate(r) is not True]
-            else:
-                keep = [r for r in self._rows if not predicate(r)]
-            removed = len(self._rows) - len(keep)
-            self._rows = keep
-        if removed:
+            removed_at = [p for p, r in enumerate(self._rows) if predicate(r)]
+        if removed_at:
+            removed_set = set(removed_at)
+            self._rows = [
+                r for p, r in enumerate(self._rows) if p not in removed_set
+            ]
             self._rebuild_indexes()
-            self.rows_written += removed
-        return removed
+            self.rows_written += len(removed_at)
+            if self.listener is not None:
+                self.listener(self.name, "delete_at", (tuple(removed_at),))
+        return len(removed_at)
 
     def update(
         self,
@@ -178,16 +273,74 @@ class Table:
                 if isinstance(value, Expression):
                     value = value.evaluate(row)
                 new_values[name] = value
-            self._rows[position] = self._normalize(new_values)
+            new_row = self._normalize(new_values)
+            self._replace_at(position, new_row)
             updated += 1
+            if self.listener is not None:
+                self.listener(self.name, "set", (position, new_row))
         if updated:
-            self._rebuild_indexes()
             self.rows_written += updated
         return updated
 
     def truncate(self) -> int:
         """Remove all rows (the Initializer's *uninitialize* step)."""
         return self.delete(None)
+
+    # -- durability support ------------------------------------------------------
+
+    def dump_rows(self) -> list[Row]:
+        """Copy all rows *without* counting reads.
+
+        Checkpoint capture uses this instead of :meth:`scan` so taking a
+        snapshot never perturbs ``rows_read`` — the cost model must see
+        the same counters with and without durability enabled.
+        """
+        return [dict(row) for row in self._rows]
+
+    def restore_rows(self, rows: Iterable[Row]) -> None:
+        """Bulk-load a snapshot's rows, bypassing journaling and counters.
+
+        Used exclusively by crash recovery: the WAL/snapshot already
+        accounts for these rows, so reloading them must neither re-journal
+        nor inflate ``rows_written`` (the engine's cost model would
+        otherwise double-count the replayed work).
+        """
+        self._rows = [dict(row) for row in rows]
+        self._rebuild_indexes()
+
+    def redo(self, op: str, payload: tuple) -> None:
+        """Re-apply one journaled change record (crash-recovery redo).
+
+        Index DDL redo is idempotent: re-declaring an existing index
+        drops and recreates it, so replaying a tail over a restored
+        snapshot converges regardless of where the checkpoint fell.
+        """
+        if op == "insert":
+            self.insert(dict(payload[0]))
+        elif op == "upsert":
+            self.upsert(dict(payload[0]))
+        elif op == "set":
+            position, row = payload
+            self._replace_at(position, dict(row))
+        elif op == "delete_at":
+            removed_set = set(payload[0])
+            self._rows = [
+                r for p, r in enumerate(self._rows) if p not in removed_set
+            ]
+            self._rebuild_indexes()
+        elif op == "truncate":
+            self._rows.clear()
+            self._rebuild_indexes()
+        elif op == "create_index":
+            index_name, cols = payload
+            if self.has_index(index_name):
+                self.drop_index(index_name)
+            self.create_index(index_name, cols)
+        elif op == "drop_index":
+            if self.has_index(payload[0]):
+                self.drop_index(payload[0])
+        else:
+            raise QueryError(f"table {self.name}: unknown redo op {op!r}")
 
     # -- reads ------------------------------------------------------------------
 

@@ -11,13 +11,13 @@ time scale factor t translates into measurable pressure.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import (
     AttemptTimeout,
     DeploymentError,
+    EngineCrashed,
     EngineError,
     TransientEngineFault,
 )
@@ -34,7 +34,9 @@ from repro.observability import (
 from repro.services.registry import ServiceRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.database import Database
     from repro.resilience.policy import ResilienceContext
+    from repro.storage.manager import StorageManager
 
 
 @dataclass(frozen=True)
@@ -149,7 +151,7 @@ class IntegrationEngine:
         self.worker_count = worker_count
         self.parallel_efficiency = parallel_efficiency
         self._processes: dict[str, ProcessType] = {}
-        self._instance_counter = itertools.count(1)
+        self._next_instance_id = 1
         #: Completion times of busy workers (virtual-time worker pool).
         self._worker_free: list[float] = []
         #: Completion times of every admitted instance still in the
@@ -171,6 +173,10 @@ class IntegrationEngine:
         #: 1-based attempt number of the execution currently in flight,
         #: exposed to operators through the execution context.
         self._current_attempt = 1
+        #: Durability layer (attached by the BenchmarkClient via
+        #: StorageManager.attach_engine); None = no durability, the
+        #: exact pre-storage behavior.
+        self.storage: "StorageManager | None" = None
         self.observability = observability
 
     # -- observability ---------------------------------------------------------
@@ -290,6 +296,55 @@ class IntegrationEngine:
         self._worker_free.clear()
         self._in_system.clear()
 
+    def _new_instance_id(self) -> int:
+        instance_id = self._next_instance_id
+        self._next_instance_id += 1
+        return instance_id
+
+    # -- durability hooks ----------------------------------------------------------
+
+    def durable_databases(self) -> "list[Database]":
+        """Engine-internal databases the durability layer must protect
+        (the federated engine's catalog; empty for stateless engines)."""
+        return []
+
+    def runtime_state(self) -> dict:
+        """Volatile scheduling state, captured at each durable commit.
+
+        Copies are plain lists (the heaps are already heap-ordered), so
+        a stored state is immune to later engine mutation.
+        """
+        return {
+            "worker_free": list(self._worker_free),
+            "in_system": list(self._in_system),
+            "next_instance_id": self._next_instance_id,
+        }
+
+    def restore_runtime_state(self, state: dict) -> None:
+        """Adopt a previously captured :meth:`runtime_state`."""
+        self._worker_free = list(state["worker_free"])
+        heapq.heapify(self._worker_free)
+        self._in_system = list(state["in_system"])
+        heapq.heapify(self._in_system)
+        self._next_instance_id = state["next_instance_id"]
+
+    def crash(self) -> None:
+        """Hard-kill: every volatile structure is lost.
+
+        Deployments, instance records, the worker pool and id counters
+        all vanish — exactly what :class:`RecoveryManager` must rebuild.
+        The durability layer (if attached) drops its uncommitted buffers;
+        durable logs and checkpoints survive by definition.
+        """
+        self._processes.clear()
+        self.records = []
+        self.reset_workers()
+        self._next_instance_id = 1
+        self._last_profile = None
+        self._current_attempt = 1
+        if self.storage is not None:
+            self.storage.on_crash(self)
+
     # -- event handling ----------------------------------------------------------
 
     def handle_event(self, event: ProcessEvent) -> InstanceRecord:
@@ -319,6 +374,28 @@ class IntegrationEngine:
                 # Apply due fault events (partitions heal, endpoints come
                 # back ...) and move the breaker clock before each attempt.
                 res.at(attempt_time)
+                if res.injector is not None and res.injector.take_crash(
+                    "arrival"
+                ):
+                    self.crash()
+                    raise EngineCrashed(
+                        f"{self.engine_name} crashed before admitting "
+                        f"{event.process_id}"
+                    )
+            # An armed commit-point crash is consumed *before* execution:
+            # the instance runs, then dies with its effects uncommitted.
+            # The pristine message copy lets the client re-dispatch the
+            # instance with exactly the original input after recovery.
+            crash_at_commit = (
+                res is not None
+                and res.injector is not None
+                and res.injector.take_crash("commit")
+            )
+            pristine = (
+                event.message.copy()
+                if crash_at_commit and event.message is not None
+                else None
+            )
             queue_length = self._queue_length(attempt_time)
             status, error, error_type = "ok", "", ""
             violations: tuple[str, ...] = ()
@@ -329,6 +406,13 @@ class IntegrationEngine:
                 costs, operators, failures = self._execute_instance(
                     process, event, queue_length
                 )
+                if crash_at_commit:
+                    self.crash()
+                    raise EngineCrashed(
+                        f"{self.engine_name} lost an in-flight "
+                        f"{event.process_id} instance at commit",
+                        pristine_message=pristine,
+                    )
                 if (
                     res is not None
                     and res.policy.timeout is not None
@@ -349,6 +433,11 @@ class IntegrationEngine:
                     )
                     costs.communication += inbound_cost
                 break
+            except EngineCrashed:
+                # Not an instance failure: the engine itself is gone.
+                # Propagate past retry/dead-letter handling to the
+                # benchmark client, which owns durable recovery.
+                raise
             except Exception as exc:  # instance failure, not engine crash
                 costs = CostBreakdown(
                     management=self.cost_parameters.management_cost(queue_length)
@@ -377,7 +466,7 @@ class IntegrationEngine:
             attempt_time, costs.management + costs.processing + costs.communication
         )
         record = InstanceRecord(
-            instance_id=next(self._instance_counter),
+            instance_id=self._new_instance_id(),
             process_id=event.process_id,
             period=event.period,
             stream=event.stream,
@@ -396,6 +485,8 @@ class IntegrationEngine:
             fault_types=tuple(fault_types),
         )
         self.records.append(record)
+        if self.storage is not None:
+            self.storage.commit_instance(self, record)
         if res is not None:
             mttr = (
                 attempt_time - first_failure
@@ -436,7 +527,7 @@ class IntegrationEngine:
         error record instead of aborting the whole run.
         """
         record = InstanceRecord(
-            instance_id=next(self._instance_counter),
+            instance_id=self._new_instance_id(),
             process_id=event.process_id,
             period=event.period,
             stream=event.stream,
@@ -450,6 +541,8 @@ class IntegrationEngine:
             error_violations=tuple(getattr(exc, "violations", ()) or ()),
         )
         self.records.append(record)
+        if self.storage is not None:
+            self.storage.commit_instance(self, record)
         if self._observability.enabled:
             self._observability.metrics.counter(
                 "engine_instances_total",

@@ -21,7 +21,6 @@ relational bulk processes stay cheap (optimizer-covered).
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING
 
 from repro.errors import EngineError
@@ -69,7 +68,7 @@ class FederatedEngine(IntegrationEngine):
         self.internal_db = Database("federation_catalog")
         self.trace = trace
         self.traces: list[tuple[str, list[str]]] = []
-        self._tid_counter = itertools.count(1)
+        self._next_tid = 1
         # Per-execution scratch: the context used by the running trigger or
         # procedure body (triggers receive only (db, row), so the engine
         # threads the context through this slot).
@@ -206,10 +205,42 @@ class FederatedEngine(IntegrationEngine):
             context.charge_work(WORK_XML, float(message.xml().size()))
         else:
             clob = None  # non-XML payloads ride along in the context
+        tid = self._next_tid
+        self._next_tid += 1
         self.internal_db.insert(
             self.queue_table_name(process.process_id),
-            {"tid": next(self._tid_counter), "msg": clob},
+            {"tid": tid, "msg": clob},
         )
+
+    # -- durability ----------------------------------------------------------------
+
+    def durable_databases(self) -> list[Database]:
+        """The federation catalog (queue tables) rides under the WAL."""
+        return [self.internal_db]
+
+    def runtime_state(self) -> dict:
+        state = super().runtime_state()
+        state["next_tid"] = self._next_tid
+        return state
+
+    def restore_runtime_state(self, state: dict) -> None:
+        super().restore_runtime_state(state)
+        self._next_tid = state.get("next_tid", 1)
+
+    def crash(self) -> None:
+        """A crash also loses the in-memory federation catalog.
+
+        A *fresh* catalog replaces it; redeployment recreates queue
+        tables, triggers and procedures, and the client's
+        ``StorageManager.reattach_engine`` re-binds the WAL before
+        recovery restores the committed queue rows.
+        """
+        self.internal_db = Database("federation_catalog")
+        self._next_tid = 1
+        self._active_context = None
+        self._active_process = None
+        self.traces.clear()
+        super().crash()
 
     # -- introspection -------------------------------------------------------------
 

@@ -113,6 +113,37 @@ class AttemptTimeout(ResilienceError):
     """One execution attempt exceeded the policy's virtual-time budget."""
 
 
+# --------------------------------------------------------------------- storage
+
+
+class StorageError(ReproError):
+    """Base class for the durability layer (WAL / snapshots / recovery)."""
+
+
+class WalError(StorageError):
+    """The write-ahead log was used inconsistently (bad LSN, no commit)."""
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not restore a consistent state."""
+
+
+class EngineCrashed(ReproError):
+    """An injected ``crash`` fault hard-killed the engine.
+
+    Deliberately *not* a :class:`ResilienceError`: a crash is not an
+    instance failure the retry policy may absorb — it must propagate to
+    the benchmark client, which performs durable recovery and resumes
+    the schedule.  ``pristine_message`` carries an unexecuted copy of
+    the in-flight inbound message (commit-point crashes only) so the
+    re-dispatched instance sees exactly the original input.
+    """
+
+    def __init__(self, message: str, pristine_message=None):
+        super().__init__(message)
+        self.pristine_message = pristine_message
+
+
 # ------------------------------------------------------------------------- mtm
 
 

@@ -24,6 +24,15 @@ Event kinds:
     Corrupt the next ``count`` inbound messages of one process so
     delivery triggers a real :class:`XsdValidationError` (poison
     messages, routed to the dead-letter queue).
+``crash``
+    Hard-kill the engine at the next instance boundary after ``at``:
+    ``point="arrival"`` crashes before the instance is admitted,
+    ``point="commit"`` after it executed but before its effects commit
+    (the in-flight work is lost).  Unlike every other kind, a crash is
+    not absorbed by retries — it propagates to the benchmark client,
+    which runs durable recovery (see :mod:`repro.storage`) and resumes
+    the schedule.  Crash events therefore require a run with durability
+    enabled.
 
 Every event may carry ``duration`` (tu): the spec then expands it into
 the paired recovery event (``heal``, ``restore_link`` or ``restore``)
@@ -46,8 +55,13 @@ _LINK_KINDS = ("partition", "heal", "degrade", "restore_link")
 _SERVICE_KINDS = ("outage", "restore")
 #: Kinds that hit an engine/process and need ``process``.
 _PROCESS_KINDS = ("engine_fault", "corrupt")
+#: Kinds that kill the engine itself (durable recovery required).
+_CRASH_KINDS = ("crash",)
 
-FAULT_KINDS = _LINK_KINDS + _SERVICE_KINDS + _PROCESS_KINDS
+FAULT_KINDS = _LINK_KINDS + _SERVICE_KINDS + _PROCESS_KINDS + _CRASH_KINDS
+
+#: Valid instance boundaries a ``crash`` event may target.
+CRASH_POINTS = ("arrival", "commit")
 
 #: The recovery event implied by ``duration``, per kind.
 _RECOVERY_OF = {
@@ -71,6 +85,8 @@ class FaultEvent:
     factor: float = 2.0
     duration: float | None = None
     period: int | None = None
+    #: Crash boundary: "arrival" or "commit" (``crash`` events only).
+    point: str = "arrival"
 
     def validate(self) -> list[str]:
         """Static problems with this event (empty list = valid)."""
@@ -94,6 +110,11 @@ class FaultEvent:
         if self.kind == "degrade" and self.factor < 1.0:
             problems.append(
                 f"{where}: degradation factor must be >= 1, got {self.factor}"
+            )
+        if self.kind in _CRASH_KINDS and self.point not in CRASH_POINTS:
+            problems.append(
+                f"{where}: crash point must be one of {CRASH_POINTS}, "
+                f"got {self.point!r}"
             )
         if self.duration is not None:
             if self.duration <= 0:
@@ -126,6 +147,8 @@ class FaultEvent:
                 target += f" x{self.factor:g}"
         elif self.kind in _SERVICE_KINDS:
             target = f"service={self.service}"
+        elif self.kind in _CRASH_KINDS:
+            target = f"engine at {self.point}"
         else:
             target = f"process={self.process} count={self.count}"
         tail = f" for {self.duration:g}tu" if self.duration is not None else ""
@@ -141,6 +164,8 @@ class FaultEvent:
             out["count"] = self.count
         if self.kind == "degrade":
             out["factor"] = self.factor
+        if self.kind in _CRASH_KINDS:
+            out["point"] = self.point
         if self.duration is not None:
             out["duration"] = self.duration
         if self.period is not None:
@@ -151,7 +176,7 @@ class FaultEvent:
     def from_dict(cls, data: Mapping[str, Any]) -> "FaultEvent":
         known = {
             "at", "kind", "src", "dst", "service", "process",
-            "count", "factor", "duration", "period",
+            "count", "factor", "duration", "period", "point",
         }
         unknown = set(data) - known
         if unknown:
@@ -177,6 +202,7 @@ class FaultEvent:
                 int(data["period"]) if data.get("period") is not None
                 else None
             ),
+            point=str(data.get("point", "arrival")),
         )
 
 
@@ -222,6 +248,12 @@ class FaultSpec:
                         f"{where}: unknown process {event.process!r}"
                     )
         return problems
+
+    @property
+    def has_crashes(self) -> bool:
+        """True when the spec schedules at least one engine crash
+        (such runs must enable durability)."""
+        return any(event.kind in _CRASH_KINDS for event in self.events)
 
     def timeline(self, period: int) -> list[FaultEvent]:
         """The effective events of one period (recoveries expanded),

@@ -65,6 +65,9 @@ class FaultInjector:
         self._corruptions: dict[str, int] = {}
         #: message_id -> schema for messages this injector corrupted.
         self._corrupted_messages: dict[int, "XsdSchema | None"] = {}
+        #: Armed engine crash: the boundary ("arrival"/"commit") the next
+        #: instance will die at, or None.
+        self._pending_crash: str | None = None
         self.injected_events = 0
 
     # -- period lifecycle ------------------------------------------------------
@@ -96,6 +99,7 @@ class FaultInjector:
         self._engine_faults.clear()
         self._corruptions.clear()
         self._corrupted_messages.clear()
+        self._pending_crash = None
         self._scheduler.clear()
 
     # -- time ------------------------------------------------------------------
@@ -140,6 +144,8 @@ class FaultInjector:
             self._corruptions[event.process] = (
                 self._corruptions.get(event.process, 0) + event.count
             )
+        elif kind == "crash":
+            self._pending_crash = event.point
         self.injected_events += 1
         if self._metrics is not None:
             self._metrics.counter(
@@ -149,6 +155,17 @@ class FaultInjector:
             ).inc()
 
     # -- engine-facing hooks ---------------------------------------------------
+
+    def take_crash(self, point: str) -> bool:
+        """Consume the armed crash if it targets ``point``.
+
+        Called by the engine at each instance boundary; the first
+        boundary of the matching kind after the event's time fires it.
+        """
+        if self._pending_crash != point:
+            return False
+        self._pending_crash = None
+        return True
 
     def take_engine_fault(self, process_id: str) -> bool:
         """Consume one armed transient failure for ``process_id``."""

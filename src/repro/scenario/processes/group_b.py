@@ -9,7 +9,7 @@ two-phase hand-over (P11).
 
 from __future__ import annotations
 
-import itertools
+import hashlib
 
 from repro.db.expressions import col, lit
 from repro.mtm.blocks import Sequence, Switch, SwitchCase
@@ -43,7 +43,17 @@ from repro.scenario.xmlschemas import (
 )
 from repro.xmlkit.doc import serialize_xml
 
-_failed_message_keys = itertools.count(1)
+def _failed_message_key(clob: str) -> int:
+    """Content-addressed primary key for a failed message.
+
+    A global sequence would make the landscape state depend on how many
+    failed messages any *earlier* run in the same process produced — and
+    on whether an instance was re-executed after a crash.  Hashing the
+    serialized document keys each failure by *what* failed, which is
+    stable across runs, processes and crash-recovery re-execution.
+    """
+    digest = hashlib.sha256(clob.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
 
 
 def _load_order_steps(prefix: str, message_var: str) -> list:
@@ -341,11 +351,12 @@ def build_p10() -> ProcessType:
             if context.validation_failures
             else "unknown"
         )
+        clob = serialize_xml(document)
         row = {
-            "failkey": next(_failed_message_keys),
+            "failkey": _failed_message_key(clob),
             "source": "san_diego",
             "reason": reasons[:200],
-            "msg": serialize_xml(document),
+            "msg": clob,
         }
         return Envelope.update_request("failed_messages", [row])
 

@@ -1,0 +1,42 @@
+"""repro.storage: durability and crash recovery for the benchmark.
+
+The landscape and engines are in-memory by design; this package gives
+them the durability semantics of the systems they model: a logical
+write-ahead log per database with virtual-time group commit, sharp
+checkpoints on a configurable cadence, and redo recovery that restores
+databases, queue tables and in-flight engine state after an injected
+``crash`` fault — making *recovery time* a measurable benchmark
+dimension without perturbing the deterministic schedule.
+"""
+
+from repro.storage.digest import database_digest, landscape_digest
+from repro.storage.manager import (
+    DURABILITY_MODES,
+    EngineCommit,
+    StorageManager,
+)
+from repro.storage.recovery import (
+    LOAD_COST_PER_ROW,
+    REDO_COST_PER_RECORD,
+    RecoveryManager,
+    RecoveryReport,
+)
+from repro.storage.snapshot import Checkpoint, DatabaseSnapshot, TableSnapshot
+from repro.storage.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "Checkpoint",
+    "DatabaseSnapshot",
+    "DURABILITY_MODES",
+    "EngineCommit",
+    "LOAD_COST_PER_ROW",
+    "REDO_COST_PER_RECORD",
+    "RecoveryManager",
+    "RecoveryReport",
+    "StorageManager",
+    "TableSnapshot",
+    "WalRecord",
+    "WriteAheadLog",
+    "database_digest",
+    "landscape_digest",
+]

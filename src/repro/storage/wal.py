@@ -1,0 +1,115 @@
+"""The per-database logical write-ahead log.
+
+Records are *logical/physiological*: row-level change instructions
+(insert/upsert/set/delete_at/truncate), table and index DDL, and
+materialized-view recompute markers — exactly the vocabulary
+:meth:`repro.db.database.Database.redo` replays.  Trigger and procedure
+side-effects are journaled as their own records when they originally
+run, so redo never re-fires active logic.
+
+Write path: statements append into an *open buffer*; an instance commit
+seals the buffer into the durable log under monotonically increasing
+LSNs.  Commits are durable by definition (no committed work is ever
+lost); the virtual-time *group-commit window* only batches the modeled
+fsync accounting, so ``flushes <= commits`` — the classic group-commit
+amortization, measurable without perturbing the schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WalError
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One committed logical change record."""
+
+    lsn: int
+    commit_id: int
+    target: str  # table or materialized-view name
+    op: str
+    payload: tuple
+
+
+def _copy_payload(payload: tuple) -> tuple:
+    """Detach mutable payload members (row dicts) from live table state."""
+    return tuple(
+        dict(part) if isinstance(part, dict) else part for part in payload
+    )
+
+
+class WriteAheadLog:
+    """The logical WAL of one attached :class:`Database`."""
+
+    def __init__(self, db_name: str):
+        self.db_name = db_name
+        self._open: list[tuple[str, str, tuple]] = []
+        self._records: list[WalRecord] = []
+        self._next_lsn = 1
+        # Lifetime counters (survive checkpoint truncation).
+        self.records_appended = 0
+        self.commits = 0
+        self.discarded = 0
+
+    # -- write path -------------------------------------------------------------
+
+    def append(self, target: str, op: str, payload: tuple) -> None:
+        """Buffer one logical change record in the open transaction."""
+        self._open.append((target, op, _copy_payload(payload)))
+
+    def commit(self, commit_id: int) -> int:
+        """Seal the open buffer into the durable log; returns #records."""
+        sealed = 0
+        for target, op, payload in self._open:
+            self._records.append(
+                WalRecord(self._next_lsn, commit_id, target, op, payload)
+            )
+            self._next_lsn += 1
+            sealed += 1
+        self._open.clear()
+        self.records_appended += sealed
+        self.commits += 1
+        return sealed
+
+    def discard_open(self) -> int:
+        """Drop the open (uncommitted) buffer — the crash path.
+
+        The in-flight instance's effects vanish, exactly like a real
+        engine losing its volatile buffers; redo will not see them.
+        """
+        dropped = len(self._open)
+        self._open.clear()
+        self.discarded += dropped
+        return dropped
+
+    # -- read path --------------------------------------------------------------
+
+    @property
+    def open_size(self) -> int:
+        return len(self._open)
+
+    @property
+    def tail_size(self) -> int:
+        """Committed records since the last checkpoint (the redo tail)."""
+        return len(self._records)
+
+    def committed_records(self) -> list[WalRecord]:
+        """The redo tail, in LSN order."""
+        return list(self._records)
+
+    def truncate(self) -> int:
+        """Checkpoint truncation: drop the committed tail.
+
+        Refuses while a transaction is open — checkpoints only run at
+        instance boundaries, where nothing is in flight.
+        """
+        if self._open:
+            raise WalError(
+                f"wal[{self.db_name}]: cannot truncate with "
+                f"{len(self._open)} uncommitted record(s) open"
+            )
+        dropped = len(self._records)
+        self._records.clear()
+        return dropped

@@ -20,10 +20,10 @@ back into tu.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.engine.base import InstanceRecord, IntegrationEngine, ProcessEvent
-from repro.errors import BenchmarkError, FaultSpecError
+from repro.errors import BenchmarkError, EngineCrashed, FaultSpecError
 from repro.metrics.navg import MetricReport
 from repro.observability import Observability, Span
 from repro.mtm.message import Message
@@ -41,6 +41,7 @@ from repro.scenario.topology import Scenario
 from repro.scenario.xmlschemas import message_schemas
 from repro.simtime.clock import VirtualClock
 from repro.simtime.scheduler import EventScheduler
+from repro.storage import RecoveryManager, RecoveryReport, StorageManager
 from repro.toolsuite.initializer import Initializer
 from repro.toolsuite.monitor import Monitor
 from repro.toolsuite.schedule import ScaleFactors, build_schedule
@@ -68,6 +69,8 @@ class BenchmarkResult:
     engine_name: str
     #: Poison messages / exhausted retries, when resilience was on.
     dead_letters: list[DeadLetter] = field(default_factory=list)
+    #: One report per crash recovery performed during the run.
+    recovery_reports: list[RecoveryReport] = field(default_factory=list)
 
     @property
     def total_instances(self) -> int:
@@ -90,6 +93,11 @@ class BenchmarkResult:
     def total_retries(self) -> int:
         return sum(r.retries for r in self.records)
 
+    @property
+    def recoveries(self) -> int:
+        """Crash recoveries performed during the run."""
+        return len(self.recovery_reports)
+
 
 class BenchmarkClient:
     """Drives one engine through the DIPBench schedule."""
@@ -105,6 +113,8 @@ class BenchmarkClient:
         observability: Observability | None = None,
         faults: FaultSpec | None = None,
         resilience: RetryPolicy | None = None,
+        durability: str = "off",
+        checkpoint_every: float | None = None,
     ):
         if periods < 1 or periods > 100:
             raise BenchmarkError(f"periods must be in [1, 100]: {periods}")
@@ -173,6 +183,37 @@ class BenchmarkClient:
             )
             self.engine.resilience = self.resilience
             self.scenario.registry.breakers = breakers
+        #: Durability layer: "off" keeps the classic volatile run
+        #: (byte-identical, zero overhead); "wal" / "snapshot+wal"
+        #: journal every landscape and engine database and make crash
+        #: recovery possible.  ``checkpoint_every`` is in tu, converted
+        #: to engine units like every other schedule quantity.
+        self.storage: StorageManager | None = None
+        if durability != "off":
+            metrics = self.observability.metrics
+            self.storage = StorageManager(
+                mode=durability,
+                checkpoint_every=(
+                    self.factors.tu_to_engine(checkpoint_every)
+                    if checkpoint_every is not None
+                    else None
+                ),
+                metrics=metrics if metrics.enabled else None,
+            )
+            for db in self.scenario.all_databases.values():
+                self.storage.attach(db)
+            self.storage.attach_engine(self.engine)
+        if (
+            faults is not None
+            and faults.has_crashes
+            and self.storage is None
+        ):
+            raise FaultSpecError(
+                "fault spec schedules engine crashes but durability is "
+                "off; crash recovery needs --durability wal or "
+                "snapshot+wal"
+            )
+        self.recovery_reports: list[RecoveryReport] = []
         self._last_factory: MessageFactory | None = None
         self._last_population: Population | None = None
         #: Global virtual-time offset: each period's clock restarts at
@@ -223,6 +264,7 @@ class BenchmarkClient:
                 if self.resilience is not None
                 else []
             ),
+            recovery_reports=list(self.recovery_reports),
         )
 
     def _phase_pre(self) -> None:
@@ -259,6 +301,10 @@ class BenchmarkClient:
                 parent=self._run_span,
                 attributes={"period": period},
             )
+        if self.storage is not None:
+            # Bulk (re)initialization is unlogged: the period-begin
+            # checkpoint below is the recovery baseline instead.
+            self.storage.pause()
         self.initializer.uninitialize_all()
         population = self.initializer.initialize_sources(period)
         factory = MessageFactory(
@@ -273,6 +319,10 @@ class BenchmarkClient:
             # Arm this period's fault timeline on a clean slate (prior
             # partitions healed, endpoints restored, breakers reset).
             self.resilience.begin_period(period)
+        if self.storage is not None:
+            # Baseline checkpoint over the freshly initialized landscape;
+            # journaling is live from here until period end.
+            self.storage.begin_period(period, self.engine)
         records_before = len(self.engine.records)
         if tracer.enabled:
             self._stream_spans = {
@@ -332,8 +382,39 @@ class BenchmarkClient:
                 return self.engine.handle_event(event)
             with self.observability.tracer.use_parent(stream_span):
                 return self.engine.handle_event(event)
+        except EngineCrashed as crash:
+            return self._recover_and_resume(event, crash)
         except Exception as exc:
             return self.engine.record_failure(event, exc)
+
+    def _recover_and_resume(
+        self, event: ProcessEvent, crash: EngineCrashed
+    ) -> InstanceRecord:
+        """Durable recovery after an injected engine crash.
+
+        Protocol: redeploy the (now empty) engine, re-bind its rebuilt
+        internal databases to the existing WALs, run redo recovery, then
+        re-dispatch the interrupted event — with the pristine message
+        copy when the crash hit at the commit point, so the re-executed
+        instance sees exactly the original input.  Recovery cost is
+        reported out of band; the schedule itself is untouched, which is
+        what lets the recovered run converge byte-identically.
+        """
+        if self.storage is None:  # unreachable: validated in __init__
+            raise BenchmarkError(
+                "engine crashed but durability is off"
+            ) from crash
+        self._phase_pre()  # the crash wiped deployments: redeploy
+        self.storage.reattach_engine(self.engine)
+        report = RecoveryManager(self.storage).recover(self.engine)
+        self.recovery_reports.append(report)
+        self.monitor.absorb_recovery(report)
+        retry_event = (
+            replace(event, message=crash.pristine_message)
+            if crash.pristine_message is not None
+            else event
+        )
+        return self._handle_in_stream(retry_event)
 
     def _run_message_streams(
         self, period: int, factory: MessageFactory

@@ -15,6 +15,7 @@ from typing import Iterable
 from repro.engine.base import InstanceRecord
 from repro.metrics.navg import MetricReport, compute_metrics
 from repro.observability import Observability
+from repro.storage.recovery import RecoveryReport
 from repro.toolsuite.plotting import performance_plot_ascii, performance_plot_svg
 
 
@@ -55,6 +56,37 @@ class ResilienceSummary:
         return line
 
 
+@dataclass(frozen=True)
+class RecoverySummary:
+    """Durability statistics over one monitor's absorbed recoveries.
+
+    Times are reported in tu (like NAVG+): the modeled recovery cost is
+    scaled by the run's time factor, the wall-clock milliseconds are
+    real measurements and pass through unscaled.
+    """
+
+    recoveries: int
+    snapshot_rows: int
+    redo_records: int
+    commits_replayed: int
+    mean_recovery_tu: float
+    max_recovery_tu: float
+    wall_ms: float
+
+    def describe(self) -> str:
+        if not self.recoveries:
+            return "recovery: none (no crash recovered this run)"
+        return (
+            f"recovery: recoveries={self.recoveries} "
+            f"snapshot_rows={self.snapshot_rows} "
+            f"redo_records={self.redo_records} "
+            f"commits_replayed={self.commits_replayed}\n"
+            f"  modeled recovery time: mean={self.mean_recovery_tu:.2f}tu "
+            f"max={self.max_recovery_tu:.2f}tu "
+            f"({self.wall_ms:.1f} ms wall total)"
+        )
+
+
 class Monitor:
     """Collects instance records and produces reports and plots."""
 
@@ -65,6 +97,7 @@ class Monitor:
     ):
         self.time_scale = time_scale
         self.records: list[InstanceRecord] = []
+        self.recoveries: list[RecoveryReport] = []
         self.observability = observability or Observability.disabled()
 
     def absorb(self, records: Iterable[InstanceRecord]) -> None:
@@ -77,8 +110,13 @@ class Monitor:
                 help="Instance records absorbed by the Monitor",
             ).inc(len(records))
 
+    def absorb_recovery(self, report: RecoveryReport) -> None:
+        """Book one crash recovery performed by the client."""
+        self.recoveries.append(report)
+
     def clear(self) -> None:
         self.records.clear()
+        self.recoveries.clear()
 
     # -- metrics --------------------------------------------------------------
 
@@ -136,6 +174,26 @@ class Monitor:
             ),
             errors=sum(1 for r in self.records if r.status == "error"),
             dead_letters_by_type=by_type,
+        )
+
+    def recovery_summary(self) -> RecoverySummary:
+        """Aggregate recovery-time statistics, modeled times in tu.
+
+        The durability counterpart of :meth:`resilience_summary`: crash
+        runs report how much state recovery reloaded and replayed, and
+        what that costs under the benchmark's recovery-time model.
+        """
+        costs = [r.modeled_cost * self.time_scale for r in self.recoveries]
+        return RecoverySummary(
+            recoveries=len(self.recoveries),
+            snapshot_rows=sum(r.snapshot_rows for r in self.recoveries),
+            redo_records=sum(r.redo_records for r in self.recoveries),
+            commits_replayed=sum(
+                r.commits_replayed for r in self.recoveries
+            ),
+            mean_recovery_tu=sum(costs) / len(costs) if costs else 0.0,
+            max_recovery_tu=max(costs, default=0.0),
+            wall_ms=sum(r.wall_ms for r in self.recoveries),
         )
 
     def period_series(self, process_id: str) -> list[tuple[int, int, float]]:

@@ -224,5 +224,5 @@ class TestCorruptDocument:
 def test_fault_kinds_exported():
     assert set(FAULT_KINDS) == {
         "partition", "heal", "degrade", "restore_link",
-        "outage", "restore", "engine_fault", "corrupt",
+        "outage", "restore", "engine_fault", "corrupt", "crash",
     }

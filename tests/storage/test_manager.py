@@ -1,0 +1,195 @@
+"""StorageManager policy tests: recording, checkpoints, group commit."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.schema import Column, TableSchema
+from repro.errors import RecoveryError, StorageError
+from repro.observability.export import export_prometheus
+from repro.observability.metrics import MetricsRegistry
+from repro.storage import RecoveryManager, StorageManager
+
+
+@dataclass
+class FakeRecord:
+    completion: float
+
+
+class FakeEngine:
+    """Just enough engine surface for the StorageManager protocol."""
+
+    def __init__(self, db: Database | None = None):
+        self.records = []
+        self.storage = None
+        self._db = db
+        self._runtime = {"worker_free": [0.0], "in_system": [],
+                         "next_instance_id": 1}
+
+    def durable_databases(self):
+        return [self._db] if self._db is not None else []
+
+    def runtime_state(self):
+        return dict(self._runtime)
+
+    def restore_runtime_state(self, state):
+        self._runtime = dict(state)
+
+
+def make_db(name="cdb"):
+    db = Database(name)
+    db.create_table(
+        TableSchema(
+            "t",
+            [Column("k", "BIGINT", nullable=False), Column("v", "VARCHAR")],
+            primary_key=("k",),
+        )
+    )
+    return db
+
+
+class TestConstruction:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(StorageError, match="unknown durability mode"):
+            StorageManager(mode="raid0")
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(StorageError, match="checkpoint interval"):
+            StorageManager(checkpoint_every=0)
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(StorageError, match="group-commit window"):
+            StorageManager(group_commit_window=-1.0)
+
+
+class TestRecordingLifecycle:
+    def test_writes_not_journaled_until_period_begins(self):
+        storage = StorageManager(mode="wal")
+        db = make_db()
+        storage.attach(db)
+        db.insert("t", {"k": 1})  # initialization, pre-period
+        assert storage.wals["cdb"].open_size == 0
+
+    def test_period_begin_checkpoints_then_records(self):
+        storage = StorageManager(mode="wal")
+        db = make_db()
+        engine = FakeEngine(db)
+        storage.attach_engine(engine)
+        db.insert("t", {"k": 1})
+        storage.begin_period(0, engine)
+        assert storage.checkpoint_state is not None
+        assert storage.checkpoint_state.total_rows == 1
+        db.insert("t", {"k": 2})
+        assert storage.wals["cdb"].open_size == 1
+
+    def test_pause_suppresses_journaling(self):
+        storage = StorageManager(mode="wal")
+        db = make_db()
+        engine = FakeEngine(db)
+        storage.attach_engine(engine)
+        storage.begin_period(0, engine)
+        storage.pause()
+        db.insert("t", {"k": 1})
+        assert storage.wals["cdb"].open_size == 0
+
+    def test_reattach_unknown_database_rejected(self):
+        storage = StorageManager(mode="wal")
+        storage.attach(make_db("known"))
+        with pytest.raises(StorageError, match="unknown database"):
+            storage.reattach_engine(FakeEngine(make_db("stranger")))
+
+
+class TestCommitPath:
+    def _ready(self, mode="wal", **kwargs):
+        storage = StorageManager(mode=mode, **kwargs)
+        db = make_db()
+        engine = FakeEngine(db)
+        storage.attach_engine(engine)
+        storage.begin_period(0, engine)
+        return storage, db, engine
+
+    def test_commit_seals_open_buffer(self):
+        storage, db, engine = self._ready()
+        db.insert("t", {"k": 1})
+        storage.commit_instance(engine, FakeRecord(completion=10.0))
+        wal = storage.wals["cdb"]
+        assert wal.open_size == 0
+        assert wal.tail_size == 1
+        assert storage.commits[0].at == 10.0
+
+    def test_group_commit_window_amortizes_flushes(self):
+        storage, db, engine = self._ready(group_commit_window=8.0)
+        for at in (10.0, 12.0, 17.9, 18.0, 30.0):
+            db.insert("t", {"k": at})
+            storage.commit_instance(engine, FakeRecord(completion=at))
+        # Windows: [10,18) covers 10/12/17.9; 18 opens [18,26); 30 opens a third.
+        assert storage.commit_count == 5
+        assert storage.flushes == 3
+
+    def test_wal_mode_never_auto_checkpoints(self):
+        storage, db, engine = self._ready(mode="wal", checkpoint_every=5.0)
+        baseline = storage.checkpoints
+        for at in (10.0, 100.0):
+            db.insert("t", {"k": at})
+            storage.commit_instance(engine, FakeRecord(completion=at))
+        assert storage.checkpoints == baseline
+
+    def test_snapshot_wal_checkpoints_on_cadence(self):
+        storage, db, engine = self._ready(
+            mode="snapshot+wal", checkpoint_every=50.0
+        )
+        baseline = storage.checkpoints
+        db.insert("t", {"k": 1})
+        storage.commit_instance(engine, FakeRecord(completion=10.0))
+        assert storage.checkpoints == baseline  # before the cadence
+        db.insert("t", {"k": 2})
+        storage.commit_instance(engine, FakeRecord(completion=60.0))
+        assert storage.checkpoints == baseline + 1
+        assert storage.wal_tail_size == 0  # checkpoint truncated the tail
+        assert storage.checkpoint_state.at == 60.0
+
+
+class TestCrashAndMetrics:
+    def test_crash_discards_open_buffers_and_pauses(self):
+        storage = StorageManager(mode="wal")
+        db = make_db()
+        engine = FakeEngine(db)
+        storage.attach_engine(engine)
+        storage.begin_period(0, engine)
+        db.insert("t", {"k": 1})
+        storage.on_crash(engine)
+        assert storage.wals["cdb"].open_size == 0
+        assert not storage.recording
+        assert storage.crashes == 1
+
+    def test_recovery_without_checkpoint_rejected(self):
+        storage = StorageManager(mode="wal")
+        with pytest.raises(RecoveryError, match="no checkpoint"):
+            RecoveryManager(storage).recover(FakeEngine())
+
+    def test_metrics_exported_when_registry_enabled(self):
+        metrics = MetricsRegistry()
+        storage = StorageManager(mode="wal", metrics=metrics)
+        db = make_db()
+        engine = FakeEngine(db)
+        storage.attach_engine(engine)
+        storage.begin_period(0, engine)
+        db.insert("t", {"k": 1})
+        storage.commit_instance(engine, FakeRecord(completion=1.0))
+        db.insert("t", {"k": 2})
+        storage.on_crash(engine)
+        text = export_prometheus(metrics)
+        assert "storage_checkpoints_total 1" in text
+        assert "storage_wal_records_total 1" in text
+        assert "storage_wal_commits_total 1" in text
+        assert "storage_wal_flushes_total 1" in text
+        assert "storage_crashes_total 1" in text
+        assert "storage_wal_discarded_total 1" in text
+
+    def test_stats_flat_dict(self):
+        storage = StorageManager(mode="snapshot+wal", checkpoint_every=50.0)
+        stats = storage.stats()
+        assert stats["mode"] == "snapshot+wal"
+        assert stats["checkpoint_every"] == 50.0
+        assert stats["crashes"] == 0

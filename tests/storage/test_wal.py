@@ -1,0 +1,77 @@
+"""WriteAheadLog unit tests: buffering, commits, LSNs, truncation."""
+
+import pytest
+
+from repro.errors import WalError
+from repro.storage import WriteAheadLog
+
+
+@pytest.fixture()
+def wal():
+    return WriteAheadLog("cdb")
+
+
+class TestWritePath:
+    def test_append_buffers_until_commit(self, wal):
+        wal.append("orders", "insert", ({"k": 1},))
+        assert wal.open_size == 1
+        assert wal.tail_size == 0
+        assert wal.committed_records() == []
+
+    def test_commit_seals_records_in_lsn_order(self, wal):
+        wal.append("orders", "insert", ({"k": 1},))
+        wal.append("lines", "insert", ({"k": 1, "n": 1},))
+        sealed = wal.commit(commit_id=7)
+        assert sealed == 2
+        records = wal.committed_records()
+        assert [r.lsn for r in records] == [1, 2]
+        assert all(r.commit_id == 7 for r in records)
+        assert records[0].target == "orders"
+        assert records[1].target == "lines"
+
+    def test_lsns_continue_across_commits(self, wal):
+        wal.append("t", "insert", ({"k": 1},))
+        wal.commit(1)
+        wal.append("t", "insert", ({"k": 2},))
+        wal.commit(2)
+        assert [r.lsn for r in wal.committed_records()] == [1, 2]
+        assert [r.commit_id for r in wal.committed_records()] == [1, 2]
+
+    def test_empty_commit_still_counts(self, wal):
+        assert wal.commit(1) == 0
+        assert wal.commits == 1
+        assert wal.tail_size == 0
+
+    def test_payload_rows_detached_from_caller(self, wal):
+        row = {"k": 1, "v": "a"}
+        wal.append("t", "insert", (row,))
+        row["v"] = "mutated-after-append"
+        wal.commit(1)
+        (record,) = wal.committed_records()
+        assert record.payload[0]["v"] == "a"
+
+
+class TestCrashPath:
+    def test_discard_open_drops_uncommitted_only(self, wal):
+        wal.append("t", "insert", ({"k": 1},))
+        wal.commit(1)
+        wal.append("t", "insert", ({"k": 2},))
+        dropped = wal.discard_open()
+        assert dropped == 1
+        assert wal.open_size == 0
+        assert wal.tail_size == 1  # committed record survives
+        assert wal.discarded == 1
+
+    def test_truncate_drops_committed_tail(self, wal):
+        wal.append("t", "insert", ({"k": 1},))
+        wal.commit(1)
+        assert wal.truncate() == 1
+        assert wal.tail_size == 0
+        # Lifetime counters survive truncation.
+        assert wal.records_appended == 1
+        assert wal.commits == 1
+
+    def test_truncate_refused_mid_transaction(self, wal):
+        wal.append("t", "insert", ({"k": 1},))
+        with pytest.raises(WalError, match="uncommitted"):
+            wal.truncate()

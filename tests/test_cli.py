@@ -178,3 +178,58 @@ class TestRunWithFaults:
             "run", "--periods", "1", "--quiet", "--faults", str(spec),
         ]) == 2
         assert "invalid fault spec" in capsys.readouterr().err
+
+
+class TestRunDurability:
+    def test_run_with_durability_prints_storage_line(self, capsys):
+        status = main([
+            "run", "--periods", "1", "--quiet",
+            "--durability", "snapshot+wal", "--checkpoint-every", "50",
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "durability: mode=snapshot+wal" in out
+        assert "recovery: none" in out
+
+    def test_crash_spec_without_durability_exits_2(self, capsys, tmp_path):
+        spec = tmp_path / "crash.json"
+        spec.write_text(json.dumps({
+            "name": "crash", "seed": 7,
+            "events": [{"at": 300.0, "kind": "crash",
+                        "point": "commit", "period": 0}],
+        }))
+        assert main([
+            "run", "--periods", "1", "--quiet", "--faults", str(spec),
+        ]) == 2
+        assert "invalid fault spec" in capsys.readouterr().err
+
+
+class TestRecoverCommand:
+    def test_converges_and_exits_zero(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.prom"
+        status = main([
+            "recover", "--engine", "interpreter",
+            "--crash-at", "300", "--metrics-out", str(metrics),
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "recoveries=1" in out
+        assert "records byte-identical: yes" in out
+        assert "landscape digest equal: yes" in out
+        assert "CONVERGED" in out
+        text = metrics.read_text()
+        assert "storage_recoveries_total 1" in text
+
+    def test_crash_outside_period_diverges(self, capsys):
+        # Far beyond the period horizon: the fault never fires, no
+        # recovery happens, and the command refuses to claim convergence.
+        status = main(["recover", "--crash-at", "999999"])
+        assert status == 1
+        assert "no recovery" in capsys.readouterr().out
+
+    def test_example_crash_spec_loads(self, capsys):
+        status = main([
+            "recover", "--faults", "examples/faults_crash.json",
+        ])
+        assert status == 0
+        assert "CONVERGED" in capsys.readouterr().out

@@ -39,6 +39,12 @@ class TestExamples:
         assert "quality gradient monotone: True" in out
         assert "failed-data destinations" in out
 
+    def test_crash_recovery(self, capsys):
+        out = run_example("crash_recovery.py", capsys)
+        assert "1 recovery" in out
+        assert "records byte-identical: True" in out
+        assert "landscape digest equal: True" in out
+
     def test_examples_exist_and_have_docstrings(self):
         scripts = sorted(EXAMPLES.glob("*.py"))
         assert len(scripts) >= 5
