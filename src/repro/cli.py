@@ -6,6 +6,8 @@ execute the benchmark autonomously, plus inspection helpers.
 Usage (also available as ``python -m repro``)::
 
     python -m repro run --engine federated --datasize 0.05 --periods 5
+    python -m repro sweep --workers 4 --grid d=0.02,0.05 --grid f=0,1 \\
+        --engines interpreter,federated --periods 2 --out sweep.json
     python -m repro run --plot plot.svg --report report.txt
     python -m repro run --trace-out trace.json --metrics-out metrics.prom
     python -m repro run --faults examples/faults_basic.json
@@ -25,30 +27,27 @@ command composes with CI pipelines.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
-from repro.engine import (
-    EaiEngine,
-    EtlEngine,
-    FederatedEngine,
-    MtmInterpreterEngine,
-)
+from repro.engine import ENGINES
 from repro.errors import FaultSpecError
 from repro.mtm.process import validate_definition
 from repro.observability import Observability
+from repro.observability.export import export_prometheus
+from repro.parallel import (
+    RunSpec,
+    SweepError,
+    SweepExecutor,
+    grid_from_axes,
+    parse_grid_axes,
+)
 from repro.resilience import FaultEvent, FaultSpec, RetryPolicy
 from repro.scenario import PROCESS_TABLE, build_processes, build_scenario
 from repro.storage import DURABILITY_MODES, landscape_digest
-from repro.toolsuite import BenchmarkClient, ScaleFactors
+from repro.toolsuite import BenchmarkClient, ScaleFactors, sweep_table
 from repro.toolsuite.schedule import build_schedule
-
-ENGINES = {
-    "interpreter": MtmInterpreterEngine,
-    "federated": FederatedEngine,
-    "eai": EaiEngine,
-    "etl": EtlEngine,
-}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -104,6 +103,49 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="checkpoint cadence in tu for "
                           "--durability snapshot+wal")
 
+    sweep = commands.add_parser(
+        "sweep",
+        help="fan a scale-factor grid out across worker processes and "
+             "merge the results in deterministic grid order",
+    )
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="parallel worker processes (1 = serial; the "
+                            "merged output is byte-identical either way)")
+    sweep.add_argument("--grid", action="append", default=[],
+                       metavar="AXIS=V1,V2,...",
+                       help="grid axis values: d=... (datasize), t=... "
+                            "(time), f=... (distribution); repeat per "
+                            "axis (defaults: d=0.05 t=1 f=0)")
+    sweep.add_argument("--engines", default="interpreter",
+                       help="comma-separated engine variants to sweep "
+                            f"(choose from {','.join(sorted(ENGINES))})")
+    sweep.add_argument("--seeds", default="42",
+                       help="comma-separated seed replicas (default 42)")
+    sweep.add_argument("--periods", type=int, default=1,
+                       help="benchmark periods per grid point (default 1)")
+    sweep.add_argument("--jitter", type=float, default=0.0)
+    sweep.add_argument("--engine-workers", type=int, default=4,
+                       help="engine worker-pool size inside each run "
+                            "(default 4; this is the engine's virtual "
+                            "concurrency, not the sweep's)")
+    sweep.add_argument("--faults", metavar="SPEC.json",
+                       help="fault spec injected into every grid point")
+    sweep.add_argument("--max-attempts", type=int, default=4)
+    sweep.add_argument("--durability", choices=("off",) + DURABILITY_MODES,
+                       default="off")
+    sweep.add_argument("--checkpoint-every", type=float, metavar="TU")
+    sweep.add_argument("--no-verify", action="store_true",
+                       help="skip phase-post verification per grid point")
+    sweep.add_argument("--out", metavar="FILE.json",
+                       help="write the merged sweep (digests, NAVG+, "
+                            "fingerprints; no wall-clock fields) as JSON")
+    sweep.add_argument("--metrics-out", metavar="FILE.prom",
+                       help="collect per-worker metrics shards, merge "
+                            "them in grid order and write Prometheus "
+                            "text")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress the per-point table")
+
     recover = commands.add_parser(
         "recover",
         help="crash the engine mid-period, recover from snapshot+WAL and "
@@ -135,6 +177,10 @@ def _build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--metrics-out", metavar="FILE.prom",
                          help="write the crash run's metrics registry "
                               "as Prometheus text")
+    recover.add_argument("--jobs", type=int, default=1,
+                         help="run the fault-free baseline and the "
+                              "crash run in parallel worker processes "
+                              "(default 1 = serial)")
 
     trace = commands.add_parser(
         "trace",
@@ -269,6 +315,69 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.verification.ok else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Parallel scale-grid sweep with deterministic merged output."""
+    faults = None
+    if args.faults:
+        try:
+            faults = FaultSpec.load(args.faults)
+        except (OSError, FaultSpecError) as exc:
+            print(f"error: cannot load fault spec {args.faults}: {exc}",
+                  file=sys.stderr)
+            return 2
+    engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+    unknown = [e for e in engines if e not in ENGINES]
+    if unknown:
+        print(f"error: unknown engines {unknown}; choose from "
+              f"{sorted(ENGINES)}", file=sys.stderr)
+        return 2
+    try:
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+        specs = grid_from_axes(
+            parse_grid_axes(args.grid),
+            engines=engines,
+            seeds=seeds,
+            periods=args.periods,
+            jitter=args.jitter,
+            engine_workers=args.engine_workers,
+            faults=faults,
+            max_attempts=args.max_attempts,
+            durability=args.durability,
+            checkpoint_every=args.checkpoint_every,
+            verify=not args.no_verify,
+            collect_metrics=bool(args.metrics_out),
+        )
+        executor = SweepExecutor(workers=args.workers)
+    except (SweepError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = executor.run(specs)
+
+    print(
+        f"sweep: {len(result)} grid points, workers={result.workers} "
+        f"[{result.start_method}], {result.total_instances} instances, "
+        f"{result.wall_seconds:.2f}s wall"
+    )
+    if not args.quiet:
+        print()
+        print(sweep_table(result.outcomes))
+        print()
+    for outcome in result.failed:
+        print(f"FAILED {outcome.label}: [{outcome.error_type}] "
+              f"{outcome.error}")
+    print(f"sweep fingerprint: {result.fingerprint()}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"sweep written to {args.out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(export_prometheus(result.merged_metrics()))
+        print(f"merged metrics written to {args.metrics_out}")
+    return 0 if result.ok else 1
+
+
 def _cmd_recover(args: argparse.Namespace) -> int:
     """Crash + recover, then prove convergence against a clean run.
 
@@ -276,8 +385,9 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     that hard-kills the engine at ``--crash-at`` and recovers from the
     durability logs.  Convergence is byte-identity of the final landscape
     digest and of every per-instance record (hence identical NAVG+).
+    Both runs are expressed as picklable RunSpecs, so ``--jobs 2``
+    executes them concurrently through the sweep executor.
     """
-    factors = ScaleFactors(datasize=args.datasize, time=args.time)
     if args.faults:
         try:
             faults = FaultSpec.load(args.faults)
@@ -293,53 +403,53 @@ def _cmd_recover(args: argparse.Namespace) -> int:
                                point=args.crash_point, period=0),),
         )
 
-    def execute(with_crash: bool):
-        scenario = build_scenario(seed=args.seed)
-        engine = ENGINES[args.engine](
-            scenario.registry, worker_count=args.workers
-        )
-        observability = (
-            Observability()
-            if with_crash and args.metrics_out else None
-        )
-        kwargs = {}
-        if with_crash:
-            kwargs = {
-                "faults": faults,
-                "durability": args.durability,
-                "checkpoint_every": args.checkpoint_every,
-                "observability": observability,
-            }
-        client = BenchmarkClient(
-            scenario, engine, factors,
-            periods=args.periods, seed=args.seed, **kwargs,
-        )
-        result = client.run()
-        digest = landscape_digest(scenario.all_databases.values())
-        return client, result, digest, observability
-
+    baseline_spec = RunSpec(
+        engine=args.engine,
+        datasize=args.datasize,
+        time=args.time,
+        periods=args.periods,
+        seed=args.seed,
+        engine_workers=args.workers,
+    )
+    crash_spec = RunSpec(
+        engine=args.engine,
+        datasize=args.datasize,
+        time=args.time,
+        periods=args.periods,
+        seed=args.seed,
+        engine_workers=args.workers,
+        faults=faults,
+        durability=args.durability,
+        checkpoint_every=args.checkpoint_every,
+        collect_metrics=bool(args.metrics_out),
+    )
     print(f"baseline: engine={args.engine} seed={args.seed} "
           f"d={args.datasize} t={args.time} periods={args.periods}")
-    _, base, base_digest, _ = execute(with_crash=False)
-    print(f"  instances={base.total_instances} "
-          f"verification={'ok' if base.verification.ok else 'FAILED'}")
-
     print(f"crash run: kind=crash point={args.crash_point} "
           f"at={args.crash_at} durability={args.durability} "
-          f"checkpoint_every={args.checkpoint_every}")
-    try:
-        client, crashed, digest, observability = execute(with_crash=True)
-    except FaultSpecError as exc:
-        print(f"error: invalid fault spec: {exc}", file=sys.stderr)
-        return 2
-    print(f"  instances={crashed.total_instances} "
+          f"checkpoint_every={args.checkpoint_every} jobs={args.jobs}")
+    sweep = SweepExecutor(workers=args.jobs).run(
+        [baseline_spec, crash_spec]
+    )
+    base_outcome, crash_outcome = sweep.outcomes
+    for outcome in sweep.outcomes:
+        if outcome.result is None:
+            print(f"error: {outcome.label} did not complete: "
+                  f"[{outcome.error_type}] {outcome.error}",
+                  file=sys.stderr)
+            return 2
+    base, base_digest = base_outcome.result, base_outcome.landscape_digest
+    crashed, digest = crash_outcome.result, crash_outcome.landscape_digest
+    print(f"  baseline: instances={base.total_instances} "
+          f"verification={'ok' if base.verification.ok else 'FAILED'}")
+    print(f"  crash run: instances={crashed.total_instances} "
           f"recoveries={crashed.recoveries} "
           f"verification={'ok' if crashed.verification.ok else 'FAILED'}")
     for report in crashed.recovery_reports:
         print(f"  {report.describe()}")
-    print(f"  {client.monitor.recovery_summary().describe()}")
-    if observability is not None and args.metrics_out:
-        observability.write_prometheus(args.metrics_out)
+    if args.metrics_out and crash_outcome.metrics_shard is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(export_prometheus(crash_outcome.metrics_shard))
         print(f"  metrics written to {args.metrics_out}")
 
     records_equal = crashed.records == base.records
@@ -473,6 +583,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {
         "run": _cmd_run,
+        "sweep": _cmd_sweep,
         "recover": _cmd_recover,
         "trace": _cmd_trace,
         "schedule": _cmd_schedule,

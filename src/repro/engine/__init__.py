@@ -25,6 +25,15 @@ from repro.engine.interpreter import MtmInterpreterEngine
 from repro.engine.federated import FederatedEngine
 from repro.engine.eai import EaiEngine, EtlEngine
 
+#: Engine catalog: the CLI, the parallel sweep executor and the
+#: benchmarks all resolve engine names through this one registry.
+ENGINES: dict[str, type[IntegrationEngine]] = {
+    "interpreter": MtmInterpreterEngine,
+    "federated": FederatedEngine,
+    "eai": EaiEngine,
+    "etl": EtlEngine,
+}
+
 __all__ = [
     "CostParameters",
     "CostBreakdown",
@@ -35,4 +44,5 @@ __all__ = [
     "FederatedEngine",
     "EaiEngine",
     "EtlEngine",
+    "ENGINES",
 ]

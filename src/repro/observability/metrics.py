@@ -224,6 +224,46 @@ class MetricsRegistry:
     ) -> Instrument | None:
         return self._instruments.get((name, _label_key(labels)))
 
+    def merge(self, shard: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one.
+
+        The parallel sweep executor gives every worker its own registry
+        (no cross-process shared state); the parent merges the returned
+        shards back in deterministic grid order.  Merge semantics per
+        instrument type: counters add, histograms add bucket-wise (the
+        bucket bounds must match), gauges keep the maximum — every gauge
+        in this codebase is a high-water mark, and a maximum is the only
+        merge that stays order-independent for them.
+        """
+        for theirs in shard.collect():
+            labels = theirs.label_dict
+            if isinstance(theirs, Histogram):
+                mine = self.histogram(
+                    theirs.name, buckets=theirs.buckets,
+                    help=theirs.help, labels=labels,
+                )
+                if mine.buckets != theirs.buckets:
+                    raise ObservabilityError(
+                        f"histogram {theirs.name} bucket mismatch: "
+                        f"{mine.buckets} vs {theirs.buckets}"
+                    )
+                for i, count in enumerate(theirs.counts):
+                    mine.counts[i] += count
+                mine.sum += theirs.sum
+                mine.count += theirs.count
+            elif isinstance(theirs, Gauge):
+                self.gauge(
+                    theirs.name, help=theirs.help, labels=labels
+                ).set_max(theirs.value)
+            elif isinstance(theirs, Counter):
+                self.counter(
+                    theirs.name, help=theirs.help, labels=labels
+                ).inc(theirs.value)
+            else:  # pragma: no cover - no further instrument types exist
+                raise ObservabilityError(
+                    f"cannot merge instrument type {type(theirs).__name__}"
+                )
+
     def snapshot(self) -> dict[str, float]:
         """Flat name{labels} → value view (histograms expose sum/count)."""
         out: dict[str, float] = {}
@@ -285,3 +325,6 @@ class NullMetricsRegistry(MetricsRegistry):
 
     def collect(self):  # type: ignore[override]
         return []
+
+    def merge(self, shard):  # type: ignore[override]
+        pass

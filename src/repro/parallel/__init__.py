@@ -1,0 +1,41 @@
+"""repro.parallel: the deterministic parallel sweep executor.
+
+The paper's execution schedule is a grid over three scale factors
+(datasize *d*, time *t*, distribution *f*); every published DIPBench
+figure is a sweep over that grid.  This package fans independent grid
+points — scale-factor combinations, seed replicas, engine variants —
+out across ``multiprocessing`` workers, each with its own isolated
+landscape/engine/clock, and merges the results back in deterministic
+grid order, so a parallel sweep is byte-identical to the serial one at
+the same seeds.
+
+* :class:`RunSpec` — one picklable benchmark configuration,
+* :func:`run_spec` — execute one spec, failures contained per point,
+* :func:`expand_grid` / :func:`parse_grid_axes` — grid construction,
+* :class:`SweepExecutor` / :func:`run_sweep` — the worker pool,
+* :class:`SweepResult` — grid-ordered outcomes + merged shards.
+"""
+
+from repro.parallel.executor import SweepExecutor, SweepResult, run_sweep
+from repro.parallel.grid import expand_grid, grid_from_axes, parse_grid_axes
+from repro.parallel.spec import (
+    RunOutcome,
+    RunSpec,
+    SweepError,
+    SweepSabotage,
+    run_spec,
+)
+
+__all__ = [
+    "RunSpec",
+    "RunOutcome",
+    "run_spec",
+    "SweepError",
+    "SweepSabotage",
+    "expand_grid",
+    "grid_from_axes",
+    "parse_grid_axes",
+    "SweepExecutor",
+    "SweepResult",
+    "run_sweep",
+]

@@ -1,0 +1,307 @@
+"""The deterministic parallel sweep executor.
+
+Fans independent :class:`RunSpec`\\ s out across ``multiprocessing``
+workers and merges the outcomes back **in grid order**, so a parallel
+sweep is byte-identical (landscape digests, per-instance records, NAVG+
+tables, verification outcomes) to the serial one at the same seeds.
+
+Determinism model
+-----------------
+
+* Every grid point is self-contained: the worker builds its own
+  landscape, engine, virtual clocks and RNGs from nothing but the spec
+  (:meth:`BenchmarkClient.from_spec`), so scheduling of workers cannot
+  leak between points.
+* Workers return complete :class:`RunOutcome` objects; the parent stores
+  them at the spec's original grid index.  Completion order is
+  irrelevant — the merged result reads as if the specs ran serially.
+* Observability shards (per-worker metrics registries and span rows)
+  are merged into one registry/tracer *in grid order*, which keeps the
+  merged export independent of the worker count too.
+
+Worker-crash containment
+------------------------
+
+The pool is hand-rolled over ``Pipe``-connected worker processes rather
+than ``concurrent.futures`` because a worker that dies outright (OOM
+kill, segfault, ``os._exit``) must fail **only its own grid point**: the
+parent detects the broken pipe, records the point as ``"crashed"`` with
+``error_type="WorkerCrashed"``, replaces the worker, and the sweep
+completes.  (``ProcessPoolExecutor`` marks the whole pool broken
+instead.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from typing import Sequence
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import Tracer
+from repro.parallel.spec import RunOutcome, RunSpec, SweepError, run_spec
+
+
+def _pick_start_method(requested: str | None) -> str:
+    """``fork`` where available (fast, inherits the warm interpreter);
+    ``spawn`` otherwise.  Both produce identical outcomes — every worker
+    rebuilds its state from the spec alone."""
+    available = multiprocessing.get_all_start_methods()
+    if requested is not None:
+        if requested not in available:
+            raise SweepError(
+                f"start method {requested!r} not available "
+                f"(have {available})"
+            )
+        return requested
+    return "fork" if "fork" in available else "spawn"
+
+
+def _worker_loop(conn) -> None:
+    """One pool worker: receive (index, spec), send (index, outcome).
+
+    The ``hard-exit`` sabotage hook dies *without* a traceback or a
+    reply, exactly like an externally killed process — it exists so the
+    containment path is testable deterministically.
+    """
+    try:
+        while True:
+            task = conn.recv()
+            if task is None:
+                return
+            index, spec = task
+            if spec.sabotage == "hard-exit":
+                os._exit(70)
+            conn.send((index, run_spec(spec)))
+    except (EOFError, OSError, KeyboardInterrupt):
+        return
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Worker:
+    process: multiprocessing.Process
+    conn: "connection.Connection"
+    #: (index, spec) currently executing, or None when idle.
+    current: tuple[int, RunSpec] | None = None
+
+
+@dataclass
+class SweepResult:
+    """All grid points of one sweep, merged in deterministic grid order."""
+
+    outcomes: list[RunOutcome]
+    workers: int
+    wall_seconds: float = 0.0
+    start_method: str = "serial"
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    @property
+    def ok(self) -> bool:
+        return all(
+            o.ok and (o.result is None or o.result.verification.ok)
+            for o in self.outcomes
+        )
+
+    @property
+    def failed(self) -> list[RunOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def total_instances(self) -> int:
+        return sum(
+            o.result.total_instances
+            for o in self.outcomes
+            if o.result is not None
+        )
+
+    def fingerprint(self) -> str:
+        """Hash over every grid point's fingerprint, in grid order.
+
+        Two sweeps over the same grid and seeds converged iff this
+        matches — the CI smoke job compares it across worker counts.
+        """
+        hasher = hashlib.sha256()
+        for outcome in self.outcomes:
+            hasher.update(outcome.fingerprint().encode())
+            hasher.update(b"\x00")
+        return hasher.hexdigest()
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """One registry with every worker's metrics shard folded in.
+
+        Shards merge in grid order, so the merged registry is identical
+        whether the sweep ran on one worker or many.
+        """
+        merged = MetricsRegistry()
+        for outcome in self.outcomes:
+            if outcome.metrics_shard is not None:
+                merged.merge(outcome.metrics_shard)
+        return merged
+
+    def merged_trace(self) -> Tracer:
+        """One tracer with every grid point's span shard absorbed.
+
+        Grid points are laid side by side on the merged timeline, each
+        shifted past the previous point's last span end.
+        """
+        tracer = Tracer()
+        offset = 0.0
+        for outcome in self.outcomes:
+            if not outcome.spans:
+                continue
+            spans = tracer.absorb(outcome.spans, time_offset=offset)
+            offset = max(
+                (s.end_time for s in spans if s.end_time is not None),
+                default=offset,
+            )
+        return tracer
+
+    def to_json(self) -> dict:
+        """Deterministic JSON document (no wall-clock fields)."""
+        return {
+            "points": [o.to_json() for o in self.outcomes],
+            "fingerprint": self.fingerprint(),
+        }
+
+
+class SweepExecutor:
+    """Executes RunSpecs serially (``workers=1``) or across a pool.
+
+    ``workers=1`` runs every spec inline in the calling process — that
+    is the serial baseline the byte-identity contract is defined
+    against.  ``workers>1`` fans specs out over that many worker
+    processes (capped at the number of specs).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        start_method: str | None = None,
+    ):
+        if workers < 1:
+            raise SweepError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.start_method = _pick_start_method(start_method)
+
+    def run(self, specs: Sequence[RunSpec]) -> SweepResult:
+        specs = list(specs)
+        if not specs:
+            raise SweepError("nothing to sweep: no RunSpecs given")
+        started = time.perf_counter()
+        if self.workers == 1 or len(specs) == 1:
+            outcomes = [self._run_serial(spec) for spec in specs]
+            return SweepResult(
+                outcomes=outcomes,
+                workers=1,
+                wall_seconds=time.perf_counter() - started,
+                start_method="serial",
+            )
+        outcomes = self._run_pool(specs)
+        return SweepResult(
+            outcomes=outcomes,
+            workers=min(self.workers, len(specs)),
+            wall_seconds=time.perf_counter() - started,
+            start_method=self.start_method,
+        )
+
+    # -- serial path -----------------------------------------------------------
+
+    @staticmethod
+    def _run_serial(spec: RunSpec) -> RunOutcome:
+        if spec.sabotage == "hard-exit":
+            # Mirror the pool's containment outcome instead of killing
+            # the calling process: serial and parallel sweeps stay
+            # byte-identical even under sabotage.
+            return RunOutcome.crashed(spec)
+        return run_spec(spec)
+
+    # -- pool path ---------------------------------------------------------------
+
+    def _spawn(self, ctx) -> _Worker:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=_worker_loop, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()  # the parent keeps only its own end
+        return _Worker(process=process, conn=parent_conn)
+
+    def _run_pool(self, specs: list[RunSpec]) -> list[RunOutcome]:
+        ctx = multiprocessing.get_context(self.start_method)
+        pending: list[tuple[int, RunSpec]] = list(enumerate(specs))
+        pending.reverse()  # pop() dispatches in grid order
+        outcomes: list[RunOutcome | None] = [None] * len(specs)
+        remaining = len(specs)
+        pool = [
+            self._spawn(ctx)
+            for _ in range(min(self.workers, len(specs)))
+        ]
+        try:
+            for worker in pool:
+                if pending:
+                    worker.current = pending.pop()
+                    worker.conn.send(worker.current)
+            while remaining:
+                ready = connection.wait([w.conn for w in pool])
+                for conn in ready:
+                    worker = next(w for w in pool if w.conn is conn)
+                    try:
+                        index, outcome = worker.conn.recv()
+                    except (EOFError, OSError):
+                        # The worker died mid-task: contain the failure
+                        # to its grid point and replace the worker.
+                        pool.remove(worker)
+                        worker.conn.close()
+                        worker.process.join()
+                        if worker.current is not None:
+                            index, spec = worker.current
+                            outcomes[index] = RunOutcome.crashed(spec)
+                            remaining -= 1
+                        if pending:
+                            pool.append(self._spawn(ctx))
+                        continue
+                    outcomes[index] = outcome
+                    remaining -= 1
+                    worker.current = None
+                    if pending:
+                        worker.current = pending.pop()
+                        worker.conn.send(worker.current)
+                # Replacement workers spawned above still need a task.
+                for worker in pool:
+                    if worker.current is None and pending:
+                        worker.current = pending.pop()
+                        worker.conn.send(worker.current)
+        finally:
+            for worker in pool:
+                try:
+                    worker.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+                worker.conn.close()
+            for worker in pool:
+                worker.process.join(timeout=10.0)
+                if worker.process.is_alive():  # pragma: no cover
+                    worker.process.terminate()
+                    worker.process.join()
+        assert all(o is not None for o in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+
+def run_sweep(
+    specs: Sequence[RunSpec],
+    workers: int = 1,
+    start_method: str | None = None,
+) -> SweepResult:
+    """Convenience wrapper: build an executor and run the sweep."""
+    return SweepExecutor(workers=workers, start_method=start_method).run(specs)

@@ -15,12 +15,13 @@ Public API:
 """
 
 from repro.simtime.clock import Clock, VirtualClock, WallClock
-from repro.simtime.scheduler import EventScheduler, ScheduledEvent
+from repro.simtime.scheduler import EventScheduler, HeapScheduler, ScheduledEvent
 
 __all__ = [
     "Clock",
     "VirtualClock",
     "WallClock",
     "EventScheduler",
+    "HeapScheduler",
     "ScheduledEvent",
 ]

@@ -100,9 +100,20 @@ class EventScheduler:
 
         The fault injector uses this to apply every fault whose time has
         come whenever the engine advances virtual time.
+
+        Equal deadlines dispatch in push (FIFO) order, including events
+        pushed *during* the drain at exactly ``deadline`` — they sort
+        behind already-queued ties by sequence number.  After the drain
+        the clock rests exactly at ``deadline`` (never behind it), so a
+        subsequent :meth:`push_after` is anchored at the drained-to time
+        instead of the last event's — without this, two schedulers that
+        drained through different event prefixes would compute different
+        absolute deadlines for the same relative delay, and worker-local
+        schedules could diverge from the serial run.
         """
         while self._heap and self._heap[0].deadline <= deadline:
             yield self.pop()
+        self.clock.advance_to(deadline)
 
     def run(self, handler: Callable[[ScheduledEvent], None]) -> int:
         """Drain the queue through ``handler``; return the number handled."""
@@ -115,3 +126,8 @@ class EventScheduler:
     def clear(self) -> None:
         """Drop all pending events (used between benchmark periods)."""
         self._heap.clear()
+
+
+#: The scheduler is a binary heap with FIFO tie-breaking; some callers
+#: (and the parallel sweep executor's docs) refer to it by that name.
+HeapScheduler = EventScheduler

@@ -17,7 +17,13 @@ special integration system":
 from repro.toolsuite.initializer import Initializer
 from repro.toolsuite.schedule import ScaleFactors, StreamSchedule, build_schedule
 from repro.toolsuite.client import BenchmarkClient, BenchmarkResult
-from repro.toolsuite.monitor import Monitor, ResilienceSummary
+from repro.toolsuite.monitor import (
+    Monitor,
+    ResilienceSummary,
+    SweepRow,
+    sweep_rows,
+    sweep_table,
+)
 from repro.toolsuite.verification import verify_period, VerificationReport
 from repro.toolsuite.quality import LayerQuality, QualityReport, measure_quality
 
@@ -30,6 +36,9 @@ __all__ = [
     "BenchmarkResult",
     "Monitor",
     "ResilienceSummary",
+    "SweepRow",
+    "sweep_rows",
+    "sweep_table",
     "verify_period",
     "VerificationReport",
     "LayerQuality",

@@ -21,6 +21,7 @@ back into tu.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.engine.base import InstanceRecord, IntegrationEngine, ProcessEvent
 from repro.errors import BenchmarkError, EngineCrashed, FaultSpecError
@@ -46,6 +47,9 @@ from repro.toolsuite.initializer import Initializer
 from repro.toolsuite.monitor import Monitor
 from repro.toolsuite.schedule import ScaleFactors, build_schedule
 from repro.toolsuite.verification import VerificationReport, verify_period
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel.spec import RunSpec
 
 #: Stream membership of the scheduled process types.
 _STREAM_OF = {
@@ -222,6 +226,62 @@ class BenchmarkClient:
         self._trace_offset = 0.0
         self._run_span: Span | None = None
         self._stream_spans: dict[str, Span] = {}
+
+    @classmethod
+    def from_spec(cls, spec: "RunSpec") -> "BenchmarkClient":
+        """Build a fully wired client from one picklable :class:`RunSpec`.
+
+        This is the parallel-sweep entrypoint: a worker process receives
+        nothing but the spec and constructs its *own* landscape, engine,
+        virtual clocks and (when requested) observability bundle from it,
+        so no state is ever shared between grid points — which is what
+        makes a parallel sweep byte-identical to the serial one.
+        """
+        from repro.engine import ENGINES
+        from repro.observability.metrics import (
+            MetricsRegistry,
+            NullMetricsRegistry,
+        )
+        from repro.observability.tracer import NullTracer, Tracer
+        from repro.scenario import build_scenario
+
+        if spec.engine not in ENGINES:
+            raise BenchmarkError(
+                f"unknown engine {spec.engine!r}; "
+                f"choose from {sorted(ENGINES)}"
+            )
+        scenario = build_scenario(jitter=spec.jitter, seed=spec.seed)
+        engine = ENGINES[spec.engine](
+            scenario.registry, worker_count=spec.engine_workers
+        )
+        observability = None
+        if spec.collect_metrics or spec.collect_trace:
+            observability = Observability(
+                tracer=Tracer() if spec.collect_trace else NullTracer(),
+                metrics=(
+                    MetricsRegistry()
+                    if spec.collect_metrics
+                    else NullMetricsRegistry()
+                ),
+            )
+        resilience = (
+            RetryPolicy(max_attempts=spec.max_attempts)
+            if spec.faults is not None
+            else None
+        )
+        return cls(
+            scenario,
+            engine,
+            spec.factors,
+            periods=spec.periods,
+            seed=spec.seed,
+            sandiego_error_rate=spec.sandiego_error_rate,
+            observability=observability,
+            faults=spec.faults,
+            resilience=resilience,
+            durability=spec.durability,
+            checkpoint_every=spec.checkpoint_every,
+        )
 
     # -- phase work ---------------------------------------------------------------
 

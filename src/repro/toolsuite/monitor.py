@@ -10,13 +10,17 @@ and reported in tu (``tu = units * t``), matching the paper's plots
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.engine.base import InstanceRecord
+from repro.errors import BenchmarkError
 from repro.metrics.navg import MetricReport, compute_metrics
 from repro.observability import Observability
 from repro.storage.recovery import RecoveryReport
 from repro.toolsuite.plotting import performance_plot_ascii, performance_plot_svg
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel.spec import RunOutcome
 
 
 @dataclass(frozen=True)
@@ -87,6 +91,73 @@ class RecoverySummary:
         )
 
 
+@dataclass(frozen=True)
+class SweepRow:
+    """One grid point's aggregate line in the sweep summary."""
+
+    engine: str
+    datasize: float
+    time: float
+    distribution: int
+    seed: int
+    status: str
+    instances: int
+    errors: int
+    navg_plus_total: float
+    digest: str
+    error_type: str = ""
+
+    def format(self) -> str:
+        detail = (
+            self.digest[:16] if self.status == "ok" else self.error_type
+        )
+        return (
+            f"{self.engine:<12}{self.datasize:>8g}{self.time:>6g}"
+            f"{self.distribution:>3}{self.seed:>8}  {self.status:<8}"
+            f"{self.instances:>7}{self.errors:>5}"
+            f"{self.navg_plus_total:>12.2f}  {detail}"
+        )
+
+
+def sweep_rows(outcomes: "Sequence[RunOutcome]") -> list[SweepRow]:
+    """Per-grid-point aggregates, in the sweep's (grid) order."""
+    rows = []
+    for outcome in outcomes:
+        result = outcome.result
+        rows.append(
+            SweepRow(
+                engine=outcome.spec.engine,
+                datasize=outcome.spec.datasize,
+                time=outcome.spec.time,
+                distribution=outcome.spec.distribution,
+                seed=outcome.spec.seed,
+                status=outcome.status,
+                instances=result.total_instances if result else 0,
+                errors=result.error_instances if result else 0,
+                navg_plus_total=outcome.navg_plus_total(),
+                digest=outcome.landscape_digest,
+                error_type=outcome.error_type,
+            )
+        )
+    return rows
+
+
+def sweep_table(outcomes: "Sequence[RunOutcome]") -> str:
+    """Fixed-width summary of a sweep, one line per grid point.
+
+    The Monitor-side merge view of a parallel sweep: every grid point's
+    instance counts, total NAVG+ (in tu) and landscape digest, in
+    deterministic grid order regardless of which worker finished first.
+    """
+    header = (
+        f"{'engine':<12}{'d':>8}{'t':>6}{'f':>3}{'seed':>8}  "
+        f"{'status':<8}{'inst':>7}{'err':>5}{'NAVG+Σ':>12}  digest/error"
+    )
+    lines = [header, "-" * len(header)]
+    lines.extend(row.format() for row in sweep_rows(outcomes))
+    return "\n".join(lines)
+
+
 class Monitor:
     """Collects instance records and produces reports and plots."""
 
@@ -113,6 +184,43 @@ class Monitor:
     def absorb_recovery(self, report: RecoveryReport) -> None:
         """Book one crash recovery performed by the client."""
         self.recoveries.append(report)
+
+    def absorb_outcome(self, outcome: "RunOutcome") -> None:
+        """Absorb everything one sweep grid point produced.
+
+        The outcome's records are in engine units of *its* run; pooling
+        only makes sense across grid points that share the time scale
+        factor, so mismatching outcomes are rejected rather than
+        silently mis-scaled.
+        """
+        if outcome.result is None:
+            return
+        if outcome.spec.time != self.time_scale:
+            raise BenchmarkError(
+                f"cannot pool grid point {outcome.label!r} "
+                f"(t={outcome.spec.time:g}) into a Monitor scaled at "
+                f"t={self.time_scale:g}"
+            )
+        self.absorb(outcome.result.records)
+        for report in outcome.result.recovery_reports:
+            self.absorb_recovery(report)
+
+    @classmethod
+    def merged(cls, outcomes: "Sequence[RunOutcome]") -> "Monitor":
+        """One Monitor pooling every completed grid point's records.
+
+        All outcomes must share the time scale factor (see
+        :meth:`absorb_outcome`); records merge in grid order, so the
+        pooled statistics are identical whichever worker count produced
+        the outcomes.
+        """
+        completed = [o for o in outcomes if o.result is not None]
+        if not completed:
+            return cls()
+        monitor = cls(time_scale=completed[0].spec.time)
+        for outcome in completed:
+            monitor.absorb_outcome(outcome)
+        return monitor
 
     def clear(self) -> None:
         self.records.clear()

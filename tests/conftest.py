@@ -11,6 +11,23 @@ from repro.scenario.messages import MessageFactory
 from repro.toolsuite import BenchmarkClient, Initializer, ScaleFactors
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden regression fixtures (e.g. the NAVG+ "
+             "baselines in tests/metrics/) from the current run instead "
+             "of comparing against them",
+    )
+
+
+@pytest.fixture()
+def update_golden(request) -> bool:
+    """True when the run should rewrite golden fixtures, not check them."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture()
 def scenario():
     """A freshly built Fig. 1 landscape (empty systems)."""

@@ -1,0 +1,267 @@
+"""Property-style tests over the data generator.
+
+Instead of pinning example outputs, these tests assert the *invariants*
+the benchmark depends on, across a grid of seeds × the four distribution
+scale factors f ∈ {0, 1, 2, 3} (uniform, zipf, normal, exponential):
+
+* cardinalities follow the datasize scale factor d exactly,
+* referential closure — every generated foreign key resolves,
+* value domains (quantities, discounts, prices) stay inside the
+  schema's ranges no matter the distribution,
+* the distribution families actually shape the data the way the paper
+  uses them (zipf concentrates, normal tightens, exponential skews),
+* same seed ⇒ identical bytes, different seed ⇒ different data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.distributions import make_distribution
+from repro.datagen.generators import DataGenerator, GeneratorProfile
+from repro.errors import ScaleFactorError
+
+SEEDS = [3, 11, 42]
+FACTORS = [0, 1, 2, 3]
+
+
+def generator(seed: int, f: int) -> DataGenerator:
+    return DataGenerator(
+        seed=seed, distribution=make_distribution(f, seed=seed)
+    )
+
+
+@pytest.fixture(params=SEEDS, ids=lambda s: f"seed{s}")
+def seed(request) -> int:
+    return request.param
+
+
+@pytest.fixture(params=FACTORS, ids=lambda f: f"f{f}")
+def factor(request) -> int:
+    return request.param
+
+
+# ---------------------------------------------------------------------------
+# cardinalities follow d
+# ---------------------------------------------------------------------------
+
+
+class TestCardinalityScaling:
+    @pytest.mark.parametrize("d", [0.01, 0.02, 0.05, 0.5, 1.0, 2.0])
+    def test_scaled_matches_d_exactly(self, d):
+        profile = GeneratorProfile()
+        assert profile.scaled(400, d) == max(1, round(400 * d))
+
+    def test_scaled_is_monotone_in_d(self):
+        profile = GeneratorProfile()
+        counts = [profile.scaled(800, d) for d in (0.01, 0.1, 0.5, 1.0, 4.0)]
+        assert counts == sorted(counts)
+
+    def test_scaled_never_returns_zero(self):
+        assert GeneratorProfile().scaled(400, 0.0001) == 1
+
+    @pytest.mark.parametrize("d", [0, -0.5])
+    def test_nonpositive_d_rejected(self, d):
+        with pytest.raises(ScaleFactorError):
+            GeneratorProfile().scaled(400, d)
+
+    def test_generator_emits_exactly_the_requested_counts(self, seed, factor):
+        gen = generator(seed, factor)
+        customers = gen.customers(37)
+        products, groups, lines = gen.product_dimension(23)
+        orders, orderlines = gen.orders(
+            41,
+            customer_keys=[c["custkey"] for c in customers],
+            product_keys=[p["prodkey"] for p in products],
+        )
+        assert len(customers) == 37
+        assert len(products) == 23
+        assert len(orders) == 41
+        max_lines = gen.profile.max_lines_per_order
+        assert 41 <= len(orderlines) <= 41 * max_lines
+
+
+# ---------------------------------------------------------------------------
+# referential closure
+# ---------------------------------------------------------------------------
+
+
+class TestForeignKeyClosure:
+    def test_every_fk_resolves(self, seed, factor):
+        gen = generator(seed, factor)
+        customers = gen.customers(30, key_offset=1000)
+        products, groups, lines = gen.product_dimension(20, key_offset=500)
+        custkeys = {c["custkey"] for c in customers}
+        prodkeys = {p["prodkey"] for p in products}
+        orders, orderlines = gen.orders(
+            50,
+            customer_keys=sorted(custkeys),
+            product_keys=sorted(prodkeys),
+            key_offset=9000,
+        )
+
+        assert {o["custkey"] for o in orders} <= custkeys
+        orderkeys = {o["orderkey"] for o in orders}
+        assert {ol["orderkey"] for ol in orderlines} == orderkeys
+        assert {ol["prodkey"] for ol in orderlines} <= prodkeys
+        groupkeys = {g["groupkey"] for g in groups}
+        assert {p["groupkey"] for p in products} <= groupkeys
+        linekeys = {ln["linekey"] for ln in lines}
+        assert {g["linekey"] for g in groups} <= linekeys
+
+    def test_customers_reference_their_region_cities(self, seed, factor):
+        gen = generator(seed, factor)
+        for region in ("Europe", "Asia", "America"):
+            city_keys = set(gen.city_keys_for_region(region))
+            rows = gen.customers(25, region=region)
+            assert {c["citykey"] for c in rows} <= city_keys
+
+    def test_geography_is_closed(self, seed, factor):
+        regions, nations, cities = generator(seed, factor).geography_rows()
+        regionkeys = {r["regionkey"] for r in regions}
+        nationkeys = {n["nationkey"] for n in nations}
+        assert {n["regionkey"] for n in nations} <= regionkeys
+        assert {c["nationkey"] for c in cities} <= nationkeys
+
+    def test_duplicates_reference_their_victims(self, seed, factor):
+        gen = DataGenerator(
+            seed=seed,
+            distribution=make_distribution(factor, seed=seed),
+            profile=GeneratorProfile(duplicate_rate=0.2),
+        )
+        base = gen.customers(50)
+        rows = gen.with_duplicates(base, "custkey")
+        duplicates = [r for r in rows if "_duplicate_of" in r]
+        assert len(duplicates) == int(50 * 0.2)
+        original_keys = {c["custkey"] for c in base}
+        for duplicate in duplicates:
+            assert duplicate["_duplicate_of"] in original_keys
+            assert duplicate["custkey"] not in original_keys
+
+
+# ---------------------------------------------------------------------------
+# value domains
+# ---------------------------------------------------------------------------
+
+
+class TestValueDomains:
+    def test_orderline_domains_hold_for_every_distribution(
+        self, seed, factor
+    ):
+        gen = generator(seed, factor)
+        orders, orderlines = gen.orders(
+            60, customer_keys=[1, 2, 3], product_keys=[10, 11, 12]
+        )
+        for line in orderlines:
+            assert 1 <= line["quantity"] <= 50
+            assert 0.0 <= line["discount"] <= 0.1
+            assert line["extendedprice"] > 0.0
+        for order in orders:
+            assert order["totalprice"] > 0.0
+
+    def test_totalprice_is_the_sum_of_its_lines(self, seed, factor):
+        gen = generator(seed, factor)
+        orders, orderlines = gen.orders(
+            30, customer_keys=[1], product_keys=[10]
+        )
+        by_order: dict[int, float] = {}
+        for line in orderlines:
+            by_order[line["orderkey"]] = (
+                by_order.get(line["orderkey"], 0.0) + line["extendedprice"]
+            )
+        for order in orders:
+            assert order["totalprice"] == pytest.approx(
+                by_order[order["orderkey"]], abs=0.01
+            )
+
+    def test_product_prices_in_schema_range(self, seed, factor):
+        products, _, _ = generator(seed, factor).product_dimension(50)
+        for product in products:
+            assert 1.0 <= product["price"] <= 2000.0
+
+    def test_distribution_samples_stay_in_bounds(self, seed, factor):
+        dist = make_distribution(factor, seed=seed)
+        for _ in range(500):
+            assert 0.0 <= dist.sample_unit() < 1.0
+        for _ in range(200):
+            assert 1 <= dist.sample_int(1, 50) <= 50
+            assert 2.5 <= dist.sample_float(2.5, 7.5) <= 7.5
+
+
+# ---------------------------------------------------------------------------
+# the families shape the data (monotonicity vs f)
+# ---------------------------------------------------------------------------
+
+
+def _unit_samples(f: int, seed: int, n: int = 4000) -> list[float]:
+    dist = make_distribution(f, seed=seed)
+    return [dist.sample_unit() for _ in range(n)]
+
+
+def _mean(values) -> float:
+    return sum(values) / len(values)
+
+
+def _std(values) -> float:
+    mu = _mean(values)
+    return (sum((v - mu) ** 2 for v in values) / len(values)) ** 0.5
+
+
+class TestDistributionShapes:
+    def test_zipf_concentrates_on_hot_keys(self, seed):
+        uniform = _unit_samples(0, seed)
+        zipf = _unit_samples(1, seed)
+        assert _mean(zipf) < _mean(uniform) * 0.6
+
+    def test_zipf_reuses_keys_more_than_uniform(self, seed):
+        keys = list(range(1, 201))
+        uniform = make_distribution(0, seed=seed)
+        zipf = make_distribution(1, seed=seed)
+        unique_uniform = len({uniform.choice(keys) for _ in range(1000)})
+        unique_zipf = len({zipf.choice(keys) for _ in range(1000)})
+        assert unique_zipf < unique_uniform
+
+    def test_normal_is_tighter_than_uniform(self, seed):
+        assert _std(_unit_samples(2, seed)) < _std(_unit_samples(0, seed))
+
+    def test_normal_centers_on_one_half(self, seed):
+        assert _mean(_unit_samples(2, seed)) == pytest.approx(0.5, abs=0.05)
+
+    def test_exponential_skews_low(self, seed):
+        exponential = _unit_samples(3, seed)
+        uniform = _unit_samples(0, seed)
+        assert _mean(exponential) < _mean(uniform)
+        # More than half the mass sits below the uniform median.
+        below = sum(1 for v in exponential if v < 0.5)
+        assert below > len(exponential) * 0.6
+
+    def test_unknown_factor_rejected(self):
+        with pytest.raises(ScaleFactorError, match="scale factor"):
+            make_distribution(9)
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes(self, seed, factor):
+        def full_output(s):
+            gen = generator(s, factor)
+            customers = gen.customers(20)
+            products, groups, lines = gen.product_dimension(15)
+            orders, orderlines = gen.orders(
+                25,
+                customer_keys=[c["custkey"] for c in customers],
+                product_keys=[p["prodkey"] for p in products],
+            )
+            return repr((customers, products, groups, lines,
+                         orders, orderlines))
+
+        assert full_output(seed) == full_output(seed)
+
+    def test_different_seeds_differ(self, factor):
+        a = generator(3, factor).customers(20)
+        b = generator(4, factor).customers(20)
+        assert a != b

@@ -1,0 +1,117 @@
+"""Golden NAVG+ regression tests.
+
+The NAVG+ numbers (mean + population sigma of normalized costs, per
+process type) are the benchmark's published quantity: any code change
+that silently shifts them invalidates cross-run comparisons.  This
+module pins the full metric table of two reference configurations to a
+golden JSON fixture.
+
+When a change *intentionally* moves the numbers (a cost-model fix, a
+datagen change), regenerate the fixture and commit it alongside the
+change::
+
+    PYTHONPATH=src python -m pytest tests/metrics/test_golden_navg.py \
+        --update-golden
+
+A failing comparison prints the per-field drift, so an unintentional
+regression is attributable directly to the process type it hit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.parallel import RunSpec, run_spec
+
+GOLDEN_PATH = Path(__file__).parent / "golden_navg.json"
+
+#: Reference configurations pinned by the fixture.  Keys are the
+#: fixture's JSON keys; keep them stable.
+CASES: dict[str, RunSpec] = {
+    "interpreter-d0.02-s11": RunSpec(
+        engine="interpreter", datasize=0.02, time=1.0, seed=11
+    ),
+    "federated-d0.05-s42": RunSpec(
+        engine="federated", datasize=0.05, time=1.0, seed=42
+    ),
+}
+
+#: Float fields are rounded before comparison so the fixture is stable
+#: across platforms (the runs themselves are deterministic; rounding
+#: only guards against repr drift).
+ROUND = 6
+
+
+def _capture(spec: RunSpec) -> dict:
+    outcome = run_spec(spec)
+    assert outcome.ok, f"golden case failed to run: {outcome.error}"
+    result = outcome.result
+    return {
+        "spec": spec.label,
+        "landscape_digest": outcome.landscape_digest,
+        "total_instances": result.total_instances,
+        "error_instances": result.error_instances,
+        "verification_ok": result.verification.ok,
+        "navg": {
+            m.process_id: {
+                "instances": m.instance_count,
+                "errors": m.error_count,
+                "navg": round(m.navg, ROUND),
+                "sigma": round(m.sigma, ROUND),
+                "navg_plus": round(m.navg_plus, ROUND),
+            }
+            for m in result.metrics.rows()
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"golden fixture missing: {GOLDEN_PATH} — generate it with "
+            "--update-golden"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_update_golden(update_golden):
+    """Rewrites the fixture when --update-golden is given; no-op otherwise."""
+    if not update_golden:
+        pytest.skip("comparison mode (pass --update-golden to regenerate)")
+    document = {key: _capture(spec) for key, spec in CASES.items()}
+    GOLDEN_PATH.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+class TestGoldenNavg:
+    def test_matches_golden(self, golden, update_golden, case):
+        if update_golden:
+            pytest.skip("fixture being regenerated")
+        assert case in golden, f"fixture has no entry for {case}"
+        expected = golden[case]
+        actual = _capture(CASES[case])
+        # Compare the cheap identity fields first for a readable failure,
+        # then the full per-process table.
+        assert actual["landscape_digest"] == expected["landscape_digest"]
+        assert actual["total_instances"] == expected["total_instances"]
+        assert actual["error_instances"] == expected["error_instances"]
+        assert actual["verification_ok"] == expected["verification_ok"]
+        drift = {
+            pid: (expected["navg"].get(pid), got)
+            for pid, got in actual["navg"].items()
+            if expected["navg"].get(pid) != got
+        }
+        assert not drift, f"NAVG+ drifted for {sorted(drift)}: {drift}"
+        assert sorted(actual["navg"]) == sorted(expected["navg"])
+
+
+def test_golden_covers_every_case(golden, update_golden):
+    if update_golden:
+        pytest.skip("fixture being regenerated")
+    assert sorted(golden) == sorted(CASES)

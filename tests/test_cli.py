@@ -204,6 +204,72 @@ class TestRunDurability:
         assert "invalid fault spec" in capsys.readouterr().err
 
 
+class TestSweepCommand:
+    def test_parallel_sweep_matches_serial_byte_for_byte(
+        self, capsys, tmp_path
+    ):
+        serial_out = tmp_path / "serial.json"
+        parallel_out = tmp_path / "parallel.json"
+        base = ["sweep", "--grid", "d=0.02", "--seeds", "11,12", "--quiet"]
+        assert main(base + ["--workers", "1", "--out", str(serial_out)]) == 0
+        assert main(
+            base + ["--workers", "4", "--out", str(parallel_out)]
+        ) == 0
+        assert serial_out.read_bytes() == parallel_out.read_bytes()
+        out = capsys.readouterr().out
+        fingerprints = {
+            line.split()[-1]
+            for line in out.splitlines()
+            if line.startswith("sweep fingerprint:")
+        }
+        assert len(fingerprints) == 1
+
+    def test_table_lists_every_grid_point(self, capsys):
+        status = main([
+            "sweep", "--grid", "d=0.02", "--seeds", "11",
+            "--engines", "interpreter,federated",
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "interpreter" in out and "federated" in out
+        assert "2 grid points" in out
+
+    def test_merged_metrics_written(self, tmp_path):
+        metrics = tmp_path / "sweep.prom"
+        assert main([
+            "sweep", "--grid", "d=0.02", "--seeds", "11,12",
+            "--workers", "2", "--quiet", "--metrics-out", str(metrics),
+        ]) == 0
+        assert "engine_instances_total" in metrics.read_text()
+
+    def test_json_document_shape(self, tmp_path):
+        out_file = tmp_path / "sweep.json"
+        assert main([
+            "sweep", "--grid", "d=0.02", "--seeds", "11", "--quiet",
+            "--out", str(out_file),
+        ]) == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["fingerprint"]
+        (point,) = doc["points"]
+        assert point["status"] == "ok"
+        assert point["verification_ok"] is True
+        assert point["navg_plus"]
+
+    def test_bad_grid_axis_exits_2(self, capsys):
+        assert main(["sweep", "--grid", "q=1"]) == 2
+        assert "bad grid axis" in capsys.readouterr().err
+
+    def test_unknown_engine_exits_2(self, capsys):
+        assert main(["sweep", "--engines", "quantum"]) == 2
+        assert "unknown engines" in capsys.readouterr().err
+
+    def test_missing_fault_spec_exits_2(self, capsys, tmp_path):
+        assert main([
+            "sweep", "--faults", str(tmp_path / "missing.json"),
+        ]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+
 class TestRecoverCommand:
     def test_converges_and_exits_zero(self, capsys, tmp_path):
         metrics = tmp_path / "metrics.prom"
@@ -233,3 +299,13 @@ class TestRecoverCommand:
         ])
         assert status == 0
         assert "CONVERGED" in capsys.readouterr().out
+
+    def test_parallel_jobs_still_converge(self, capsys):
+        status = main([
+            "recover", "--crash-at", "300", "--jobs", "2",
+            "--datasize", "0.02",
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "jobs=2" in out
+        assert "CONVERGED" in out

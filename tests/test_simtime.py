@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simtime import EventScheduler, VirtualClock, WallClock
+from repro.simtime import EventScheduler, HeapScheduler, VirtualClock, WallClock
 
 
 class TestVirtualClock:
@@ -110,3 +110,73 @@ class TestEventScheduler:
         sched.push(1.0, "x")
         sched.clear()
         assert len(sched) == 0
+
+
+class TestExactDeadlineTies:
+    """Regressions pinning FIFO order at equal deadlines.
+
+    The parallel sweep executor gives every worker its own scheduler and
+    clock; byte-identity with the serial run requires that equal-deadline
+    dispatch order is a pure function of push order, and that draining
+    always leaves the clock at the drain deadline (so relative delays
+    computed afterwards cannot diverge between workers).
+    """
+
+    def test_heap_scheduler_is_the_event_scheduler(self):
+        assert HeapScheduler is EventScheduler
+
+    def test_drain_until_keeps_fifo_order_for_equal_deadlines(self):
+        sched = HeapScheduler()
+        for name in ("a", "b", "c"):
+            sched.push(2.0, name)
+        sched.push(1.0, "before")
+        sched.push(3.0, "after")
+        drained = [e.payload for e in sched.drain_until(2.0)]
+        assert drained == ["before", "a", "b", "c"]
+        assert [e.payload for e in sched.drain()] == ["after"]
+
+    def test_drain_until_includes_boundary_pushes_in_fifo_order(self):
+        """Events pushed mid-drain at exactly the boundary deadline are
+        dispatched within the same drain, behind already-queued ties."""
+        sched = HeapScheduler()
+        sched.push(5.0, "first")
+        sched.push(5.0, "second")
+        seen = []
+        for event in sched.drain_until(5.0):
+            seen.append(event.payload)
+            if event.payload == "first":
+                sched.push(5.0, "spawned-at-boundary")
+        assert seen == ["first", "second", "spawned-at-boundary"]
+
+    def test_drain_until_advances_clock_to_deadline_without_events(self):
+        sched = HeapScheduler()
+        assert list(sched.drain_until(7.5)) == []
+        assert sched.clock.now() == 7.5
+
+    def test_drain_until_advances_clock_past_last_event(self):
+        sched = HeapScheduler()
+        sched.push(2.0, "x")
+        list(sched.drain_until(9.0))
+        assert sched.clock.now() == 9.0
+
+    def test_push_after_anchors_at_drained_to_time(self):
+        """push_after after a drain computes from the drain deadline, not
+        from the last dispatched event — otherwise two schedulers that
+        drained through different event prefixes would schedule the same
+        relative delay at different absolute deadlines."""
+        with_event = HeapScheduler()
+        with_event.push(2.0, "x")
+        list(with_event.drain_until(10.0))
+        without_event = HeapScheduler()
+        list(without_event.drain_until(10.0))
+        assert (
+            with_event.push_after(5.0, "y").deadline
+            == without_event.push_after(5.0, "y").deadline
+            == 15.0
+        )
+
+    def test_drain_until_never_moves_clock_backwards(self):
+        sched = HeapScheduler()
+        sched.clock.advance(20.0)
+        assert list(sched.drain_until(10.0)) == []
+        assert sched.clock.now() == 20.0
