@@ -15,6 +15,7 @@ Usage (also available as ``python -m repro``)::
         --faults examples/faults_crash.json
     python -m repro recover --engine federated --crash-at 300
     python -m repro trace --engine interpreter --periods 2 --out trace.json
+    python -m repro profile --engine interpreter --periods 2 --out prof.json
     python -m repro schedule --period 0 --datasize 0.05
     python -m repro faults examples/faults_basic.json
     python -m repro processes
@@ -205,6 +206,25 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--metrics-out", metavar="FILE.prom",
                        help="also write the metrics registry as "
                             "Prometheus text")
+
+    profile = commands.add_parser(
+        "profile",
+        help="run the benchmark and print a per-operator cost breakdown",
+    )
+    profile.add_argument("--engine", choices=sorted(ENGINES),
+                         default="interpreter")
+    profile.add_argument("--datasize", type=float, default=0.05)
+    profile.add_argument("--time", type=float, default=1.0)
+    profile.add_argument("--distribution", type=int, default=0,
+                         choices=(0, 1, 2, 3))
+    profile.add_argument("--periods", type=int, default=2)
+    profile.add_argument("--seed", type=int, default=42)
+    profile.add_argument("--workers", type=int, default=4)
+    profile.add_argument("--naive", action="store_true",
+                         help="disable the relational fast path for this "
+                              "run (baseline comparison)")
+    profile.add_argument("--out", metavar="FILE.json",
+                         help="also write the breakdown as JSON")
 
     schedule = commands.add_parser(
         "schedule", help="print the Table II event series for one period"
@@ -508,6 +528,91 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if result.verification.ok else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run once with observability on; aggregate cost per operator kind.
+
+    The engines already log one OperatorObservation per leaf operator
+    and emit them as kind="operator" spans whose duration is the
+    operator's priced share of the instance; the profile sums those per
+    operator kind and pairs them with the relational kernel's fast-path
+    operation counters for the same run.
+    """
+    from repro.db import fastpath
+
+    factors = ScaleFactors(
+        datasize=args.datasize, time=args.time, distribution=args.distribution
+    )
+    scenario = build_scenario(seed=args.seed)
+    engine = ENGINES[args.engine](
+        scenario.registry, worker_count=args.workers
+    )
+    observability = Observability()
+    client = BenchmarkClient(
+        scenario, engine, factors, periods=args.periods, seed=args.seed,
+        observability=observability,
+    )
+    stats_base = fastpath.STATS.copy()
+    if args.naive:
+        with fastpath.disabled():
+            result = client.run()
+    else:
+        result = client.run()
+    stats = (fastpath.STATS - stats_base).snapshot()
+
+    breakdown: dict[str, dict[str, float]] = {}
+    for span in observability.tracer.spans_of_kind("operator"):
+        op_kind = span.name.split(":", 1)[0]
+        entry = breakdown.setdefault(
+            op_kind,
+            {"count": 0, "cost": 0.0, "work": 0.0, "communication": 0.0},
+        )
+        entry["count"] += 1
+        entry["cost"] += span.duration
+        entry["communication"] += float(
+            span.attributes.get("communication", 0.0)
+        )
+        entry["work"] += sum(
+            float(value)
+            for key, value in span.attributes.items()
+            if key.startswith("work_")
+        )
+
+    mode = "naive" if args.naive else "fast"
+    print(
+        f"engine={result.engine_name} d={args.datasize} t={args.time} "
+        f"periods={result.periods} path={mode}"
+    )
+    print(f"{'operator':<16}{'count':>8}{'cost':>12}{'work':>12}{'comm':>10}")
+    for op_kind in sorted(
+        breakdown, key=lambda k: breakdown[k]["cost"], reverse=True
+    ):
+        entry = breakdown[op_kind]
+        print(
+            f"{op_kind:<16}{int(entry['count']):>8}{entry['cost']:>12.2f}"
+            f"{entry['work']:>12.1f}{entry['communication']:>10.1f}"
+        )
+    print("fast-path counters:")
+    for key, value in stats.items():
+        print(f"  {key:<20}{value:>10}")
+    if args.out:
+        payload = {
+            "engine": result.engine_name,
+            "factors": {
+                "datasize": args.datasize,
+                "time": args.time,
+                "distribution": args.distribution,
+            },
+            "periods": result.periods,
+            "path": mode,
+            "operators": breakdown,
+            "fastpath": stats,
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"breakdown written to {args.out}")
+    return 0 if result.verification.ok else 1
+
+
 def _cmd_schedule(args: argparse.Namespace) -> int:
     factors = ScaleFactors(datasize=args.datasize, time=args.time)
     schedule = build_schedule(args.period, factors)
@@ -586,6 +691,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "recover": _cmd_recover,
         "trace": _cmd_trace,
+        "profile": _cmd_profile,
         "schedule": _cmd_schedule,
         "faults": _cmd_faults,
         "processes": _cmd_processes,

@@ -24,6 +24,7 @@ Quick tour::
     rel = db.table("customer").to_relation().select(col("custkey") == lit(1))
 """
 
+from repro.db import fastpath
 from repro.db.types import SqlType, coerce_value, type_check
 from repro.db.schema import Column, ForeignKey, TableSchema
 from repro.db.expressions import (
@@ -34,12 +35,19 @@ from repro.db.expressions import (
     Literal,
     UnaryOp,
     col,
+    compile_expression,
     func,
     lit,
 )
-from repro.db.relation import Relation
-from repro.db.table import Table
-from repro.db.active import MaterializedView, StoredProcedure, Trigger
+from repro.db.relation import Relation, set_strict_rows, strict_rows
+from repro.db.table import Table, TableObserver
+from repro.db.active import (
+    MaterializedView,
+    StoredProcedure,
+    Trigger,
+    ViewJoin,
+    ViewQuery,
+)
 from repro.db.database import Database, DatabaseStatistics
 
 __all__ = [
@@ -58,11 +66,18 @@ __all__ = [
     "col",
     "lit",
     "func",
+    "compile_expression",
     "Relation",
+    "set_strict_rows",
+    "strict_rows",
     "Table",
+    "TableObserver",
     "Trigger",
     "StoredProcedure",
     "MaterializedView",
+    "ViewJoin",
+    "ViewQuery",
     "Database",
     "DatabaseStatistics",
+    "fastpath",
 ]

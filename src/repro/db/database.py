@@ -12,10 +12,46 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.errors import ProcedureError, SchemaError
-from repro.db.active import MaterializedView, StoredProcedure, Trigger
+from repro.db import fastpath
+from repro.db.active import MaterializedView, StoredProcedure, Trigger, ViewQuery
+from repro.db.expressions import BinaryOp, ColumnRef, Expression, Literal
 from repro.db.relation import Relation, Row
 from repro.db.schema import TableSchema
 from repro.db.table import ChangeListener, Table
+
+
+def _leading_equalities(predicate: Expression) -> dict[str, Any]:
+    """Extract the leading ``column = literal`` conjuncts of a predicate.
+
+    Walks the AND spine in evaluation order and stops at the first
+    conjunct that is not an equality between a column and a non-NULL
+    literal.  Restricting to the *leading* prefix keeps index pushdown
+    observationally identical to a full scan even for predicates whose
+    later conjuncts can raise: the naive path short-circuits those
+    conjuncts on exactly the rows an index probe would skip.
+    """
+    bindings: dict[str, Any] = {}
+    stack = [predicate]
+    flat: list[Expression] = []
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BinaryOp) and node.op == "AND":
+            stack.append(node.right)
+            stack.append(node.left)
+        else:
+            flat.append(node)
+    for node in flat:
+        if not (isinstance(node, BinaryOp) and node.op == "="):
+            break
+        left, right = node.left, node.right
+        if isinstance(left, Literal) and isinstance(right, ColumnRef):
+            left, right = right, left
+        if not (isinstance(left, ColumnRef) and isinstance(right, Literal)):
+            break
+        if right.value is None:
+            break  # col = NULL is never true; indexes may key NULLs differently
+        bindings.setdefault(left.name, right.value)
+    return bindings
 
 
 @dataclass(frozen=True)
@@ -161,12 +197,18 @@ class Database:
         return name in self._procedures
 
     def create_materialized_view(
-        self, name: str, definition: Callable[["Database"], Relation]
+        self,
+        name: str,
+        definition: "Callable[[Database], Relation] | ViewQuery",
     ) -> MaterializedView:
         if name in self._views:
             raise SchemaError(f"{self.name}: view {name} already exists")
         view = MaterializedView(name, definition)
         self._views[name] = view
+        # ViewQuery-backed views track base-table changes for delta
+        # maintenance; attachment is retried at refresh time if some base
+        # tables are created after the view.
+        view.observe(self)
         return view
 
     def materialized_view(self, name: str) -> MaterializedView:
@@ -199,9 +241,50 @@ class Database:
             count += 1
         return count
 
-    def query(self, table_name: str) -> Relation:
-        """Snapshot a table as a relation (the building block of EXTRACT)."""
-        return self.table(table_name).to_relation()
+    def query(
+        self,
+        table_name: str,
+        predicate: "Expression | Callable[[Row], Any] | None" = None,
+        columns: Iterable[str] | None = None,
+    ) -> Relation:
+        """Snapshot a table as a relation (the building block of EXTRACT).
+
+        With a ``predicate``/``columns``, equivalent to
+        ``query(t).select(predicate).keep(*columns)`` — but on the fast
+        path, leading ``column = literal`` conjuncts that are covered by
+        the table's primary key or a secondary index are answered by an
+        index probe instead of a scan.  The full predicate is still
+        re-checked on every candidate row, and the table is charged the
+        same scan-equivalent ``rows_read`` a full scan would cost, so
+        results and cost accounting are byte-identical either way.
+        """
+        table = self.table(table_name)
+        relation: Relation | None = None
+        if (
+            predicate is not None
+            and fastpath.is_enabled()
+            and isinstance(predicate, Expression)
+            and predicate.referenced_columns()
+            <= set(table.schema.column_names)
+        ):
+            bindings = _leading_equalities(predicate)
+            if bindings:
+                candidates = table.probe_candidates(bindings)
+                if candidates is not None:
+                    table.charge_scan()
+                    fastpath.STATS.pushdowns += 1
+                    check = predicate.compile()
+                    kept = [row for row in candidates if check(row) is True]
+                    relation = Relation.from_trusted(
+                        tuple(table.schema.column_names), kept
+                    )
+        if relation is None:
+            relation = table.to_relation()
+            if predicate is not None:
+                relation = relation.select(predicate)
+        if columns is not None:
+            relation = relation.keep(*columns)
+        return relation
 
     # -- maintenance ---------------------------------------------------------------
 

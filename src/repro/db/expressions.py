@@ -13,9 +13,33 @@ from __future__ import annotations
 
 import operator
 from abc import ABC, abstractmethod
+from functools import lru_cache
 from typing import Any, Callable, Mapping
 
+from repro.db import fastpath
 from repro.errors import QueryError
+
+#: A compiled expression: one closure evaluating against one row.
+CompiledExpression = Callable[[Mapping[str, Any]], Any]
+
+
+@lru_cache(maxsize=512)
+def compile_expression(expr: "Expression") -> CompiledExpression:
+    """Lower an expression tree to a closure, cached by tree identity.
+
+    Expressions hash by ``id`` (see :meth:`Expression.__hash__`), so the
+    cache key is object identity: the same tree object compiles once and
+    every operator invocation after that reuses the closure.  The cache
+    keeps strong references to its keys, so a cached id can never be
+    recycled to a different live expression.
+
+    The closures preserve ``evaluate``'s semantics exactly — SQL
+    three-valued logic, short-circuit AND/OR, and the same
+    :class:`~repro.errors.QueryError` wrapping of type errors — they
+    only skip the per-row tree walk and attribute lookups.
+    """
+    fastpath.STATS.expr_compiled += 1
+    return expr._compile()
 
 
 class Expression(ABC):
@@ -28,6 +52,14 @@ class Expression(ABC):
     @abstractmethod
     def referenced_columns(self) -> frozenset[str]:
         """All column names this expression reads (for pushdown analysis)."""
+
+    @abstractmethod
+    def _compile(self) -> CompiledExpression:
+        """Build the closure behind :meth:`compile` (uncached)."""
+
+    def compile(self) -> CompiledExpression:
+        """This expression as a per-row closure (identity-cached)."""
+        return compile_expression(self)
 
     # -- operator sugar ------------------------------------------------------
 
@@ -95,6 +127,19 @@ class ColumnRef(Expression):
     def referenced_columns(self) -> frozenset[str]:
         return frozenset({self.name})
 
+    def _compile(self) -> CompiledExpression:
+        name = self.name
+
+        def run(row: Mapping[str, Any]) -> Any:
+            try:
+                return row[name]
+            except KeyError:
+                raise QueryError(
+                    f"unknown column {name!r}; row has {sorted(row)}"
+                ) from None
+
+        return run
+
     def __repr__(self) -> str:
         return f"col({self.name!r})"
 
@@ -110,6 +155,10 @@ class Literal(Expression):
 
     def referenced_columns(self) -> frozenset[str]:
         return frozenset()
+
+    def _compile(self) -> CompiledExpression:
+        value = self.value
+        return lambda row: value
 
     def __repr__(self) -> str:
         return f"lit({self.value!r})"
@@ -194,6 +243,73 @@ class BinaryOp(Expression):
     def referenced_columns(self) -> frozenset[str]:
         return self.left.referenced_columns() | self.right.referenced_columns()
 
+    def _compile(self) -> CompiledExpression:
+        lf = self.left.compile()
+        rf = self.right.compile()
+        if self.op == "AND":
+
+            def run_and(row: Mapping[str, Any]) -> Any:
+                left = lf(row)
+                if left is False:
+                    return False
+                right = rf(row)
+                if right is False:
+                    return False
+                if left is None or right is None:
+                    return None
+                return bool(left) and bool(right)
+
+            return run_and
+        if self.op == "OR":
+
+            def run_or(row: Mapping[str, Any]) -> Any:
+                left = lf(row)
+                if left is True:
+                    return True
+                right = rf(row)
+                if right is True:
+                    return True
+                if left is None or right is None:
+                    return None
+                return bool(left) or bool(right)
+
+            return run_or
+        op_name = self.op
+        op_fn = _BINARY_OPS[op_name]
+        if isinstance(self.left, ColumnRef) and isinstance(self.right, Literal):
+            # The dominant predicate leaf (``col OP lit``): inline both
+            # operand fetches into one closure instead of two calls.
+            name = self.left.name
+            const = self.right.value
+
+            def run_col_lit(row: Mapping[str, Any]) -> Any:
+                try:
+                    left = row[name]
+                except KeyError:
+                    raise QueryError(
+                        f"unknown column {name!r}; row has {sorted(row)}"
+                    ) from None
+                try:
+                    return op_fn(left, const)
+                except TypeError as exc:
+                    raise QueryError(
+                        f"type error in {left!r} {op_name} {const!r}: {exc}"
+                    ) from exc
+
+            return run_col_lit
+
+        def run(row: Mapping[str, Any]) -> Any:
+            left = lf(row)
+            right = rf(row)
+            try:
+                return op_fn(left, right)
+            except TypeError as exc:
+                raise QueryError(
+                    f"type error in {left!r} {op_name} {right!r}: {exc}"
+                ) from exc
+
+        return run
+
     def __repr__(self) -> str:
         return f"({self.left!r} {self.op} {self.right!r})"
 
@@ -221,6 +337,18 @@ class UnaryOp(Expression):
 
     def referenced_columns(self) -> frozenset[str]:
         return self.operand.referenced_columns()
+
+    def _compile(self) -> CompiledExpression:
+        operand = self.operand.compile()
+        if self.op == "NOT":
+            return lambda row: (
+                None if (v := operand(row)) is None else not bool(v)
+            )
+        if self.op == "IS NULL":
+            return lambda row: operand(row) is None
+        if self.op == "IS NOT NULL":
+            return lambda row: operand(row) is not None
+        return lambda row: None if (v := operand(row)) is None else -v
 
     def __repr__(self) -> str:
         return f"({self.op} {self.operand!r})"
@@ -267,6 +395,20 @@ class FunctionCall(Expression):
         for arg in self.args:
             out |= arg.referenced_columns()
         return out
+
+    def _compile(self) -> CompiledExpression:
+        name = self.name
+        fn = _FUNCTIONS[name]
+        arg_fns = tuple(arg.compile() for arg in self.args)
+
+        def run(row: Mapping[str, Any]) -> Any:
+            values = [arg_fn(row) for arg_fn in arg_fns]
+            try:
+                return fn(*values)
+            except (TypeError, AttributeError, IndexError) as exc:
+                raise QueryError(f"error in {name}({values!r}): {exc}") from exc
+
+        return run
 
     def __repr__(self) -> str:
         args = ", ".join(repr(a) for a in self.args)

@@ -1,0 +1,119 @@
+"""Fast-path switchboard and operation counters for :mod:`repro.db`.
+
+The relational kernel has two execution strategies for every operator:
+
+* the **naive path** — every operator re-materializes every row dict and
+  every predicate walks the expression tree per row (the original,
+  obviously-correct implementation); and
+* the **fast path** — operators share row dicts (copy-on-write: only
+  ``project``/``extend``/``join``/``group_by`` build new dicts because
+  only they produce new values), predicates run as compiled closures,
+  joins probe existing table indexes, and materialized views maintain
+  their snapshots incrementally.
+
+Both paths produce byte-identical relations *and* byte-identical
+``rows_read``/``rows_written`` counters — the engine's cost model and
+the golden NAVG+ tables must not move when the fast path is toggled.
+The differential suite in ``tests/db/test_fastpath_equivalence.py``
+pins that equivalence on randomized inputs.
+
+The fast path is on by default; export ``REPRO_FASTPATH=0`` (or use
+:func:`disabled`) to fall back to the naive path, e.g. for the
+microbenchmark baselines in ``benchmarks/test_bench_relops.py``.
+
+:data:`STATS` counts *operations*, not time: how many row dicts were
+materialized, how many expressions were lowered to closures, how many
+joins went through a table index, how many MV refreshes were applied as
+deltas.  These counts are deterministic for a given workload, which is
+what lets CI gate performance regressions without trusting wall clocks
+on shared runners.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+from typing import Iterator
+
+
+@dataclass
+class FastpathStats:
+    """Deterministic operation counters for the relational kernel."""
+
+    #: Row dicts materialized (built key by key or via ``dict(row)``).
+    rows_copied: int = 0
+    #: Row dicts passed between operators by reference instead of copied.
+    rows_shared: int = 0
+    #: Expression trees lowered to closures (LRU-cache misses).
+    expr_compiled: int = 0
+    #: Joins that probed an existing table index instead of building one.
+    index_joins: int = 0
+    #: Joins that built a per-call hash index over the right side.
+    hash_joins: int = 0
+    #: Equality predicates answered through ``Table`` index probes.
+    pushdowns: int = 0
+    #: Materialized-view refreshes applied as insert deltas.
+    mv_incremental: int = 0
+    #: Materialized-view refreshes that fell back to a full recompute.
+    mv_full_recompute: int = 0
+    #: Fact rows folded into MV snapshots by delta maintenance.
+    mv_delta_rows: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def __sub__(self, other: "FastpathStats") -> "FastpathStats":
+        return FastpathStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def copy(self) -> "FastpathStats":
+        return FastpathStats(**self.snapshot())
+
+
+#: Process-global operation counters (read via ``STATS.snapshot()``).
+STATS = FastpathStats()
+
+_enabled = os.environ.get("REPRO_FASTPATH", "1") not in ("0", "false", "off")
+
+
+def is_enabled() -> bool:
+    """Whether relational operators take the fast path."""
+    return _enabled
+
+
+def set_enabled(on: bool) -> None:
+    global _enabled
+    _enabled = bool(on)
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Run a block on the naive path (differential tests, baselines)."""
+    global _enabled
+    previous = _enabled
+    _enabled = False
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+@contextmanager
+def enabled() -> Iterator[None]:
+    """Force the fast path on inside a block regardless of the env toggle."""
+    global _enabled
+    previous = _enabled
+    _enabled = True
+    try:
+        yield
+    finally:
+        _enabled = previous

@@ -24,6 +24,7 @@ from bisect import insort
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import IntegrityError, QueryError, SchemaError
+from repro.db import fastpath
 from repro.db.expressions import Expression
 from repro.db.relation import Relation, Row
 from repro.db.schema import TableSchema
@@ -31,6 +32,26 @@ from repro.db.types import coerce_value
 
 #: Signature of the change hook: ``listener(table_name, op, payload)``.
 ChangeListener = Callable[[str, str, tuple], None]
+
+
+class TableObserver:
+    """Change-tracking hook for derived state (incremental MVs).
+
+    Distinct from :attr:`Table.listener`: the listener slot belongs to
+    the durability layer (one WAL per database, attached wholesale via
+    ``Database.set_change_listener``), while observers are a *list* of
+    independent subscribers and also hear about bulk restores that
+    bypass journaling.  ``on_insert`` fires per appended row;
+    ``on_mutation`` fires for anything else (update, delete, truncate,
+    restore, redo of those) — coarse on purpose, since subscribers fall
+    back to recomputation for non-append changes.
+    """
+
+    def on_insert(self, table_name: str, row: Row) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def on_mutation(self, table_name: str) -> None:  # pragma: no cover
+        raise NotImplementedError
 
 
 class Table:
@@ -53,6 +74,12 @@ class Table:
         self.rows_written = 0
         #: Change hook for the durability layer (None = no journaling).
         self.listener: ChangeListener | None = None
+        #: Change-tracking subscribers (incremental MV maintenance).
+        self._observers: list[TableObserver] = []
+        #: Bumped on every data mutation; table-backed relation snapshots
+        #: record it so index-aware joins can tell whether the table has
+        #: moved on since the snapshot was taken.
+        self._generation = 0
 
     # -- introspection -----------------------------------------------------------
 
@@ -157,6 +184,26 @@ class Table:
         old_row = self._rows[position]
         self._rows[position] = new_row
         self._reindex_row(position, old_row, new_row)
+        self._generation += 1
+
+    # -- change tracking -----------------------------------------------------------
+
+    def add_observer(self, observer: TableObserver) -> None:
+        """Subscribe a change tracker (see :class:`TableObserver`)."""
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def remove_observer(self, observer: TableObserver) -> None:
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def _notify_insert(self, row: Row) -> None:
+        for observer in self._observers:
+            observer.on_insert(self.name, row)
+
+    def _notify_mutation(self) -> None:
+        for observer in self._observers:
+            observer.on_mutation(self.name)
 
     # -- DML -------------------------------------------------------------------
 
@@ -191,8 +238,11 @@ class Table:
         for cols, mapping in self._secondary.values():
             mapping.setdefault(tuple(row[c] for c in cols), []).append(position)
         self.rows_written += 1
+        self._generation += 1
         if self.listener is not None:
             self.listener(self.name, "insert", (row,))
+        if self._observers:
+            self._notify_insert(row)
         return row
 
     def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
@@ -220,6 +270,8 @@ class Table:
         self.rows_written += 1
         if self.listener is not None:
             self.listener(self.name, "upsert", (row,))
+        if self._observers:
+            self._notify_mutation()
         return row
 
     def delete(self, predicate: Expression | Callable[[Row], Any] | None = None) -> int:
@@ -230,11 +282,18 @@ class Table:
             if removed:
                 self._rebuild_indexes()
                 self.rows_written += removed
+                self._generation += 1
                 if self.listener is not None:
                     self.listener(self.name, "truncate", (removed,))
+                if self._observers:
+                    self._notify_mutation()
             return removed
         if isinstance(predicate, Expression):
-            matches = predicate.evaluate
+            matches = (
+                predicate.compile()
+                if fastpath.is_enabled()
+                else predicate.evaluate
+            )
             removed_at = [
                 p for p, r in enumerate(self._rows) if matches(r) is True
             ]
@@ -247,8 +306,11 @@ class Table:
             ]
             self._rebuild_indexes()
             self.rows_written += len(removed_at)
+            self._generation += 1
             if self.listener is not None:
                 self.listener(self.name, "delete_at", (tuple(removed_at),))
+            if self._observers:
+                self._notify_mutation()
         return len(removed_at)
 
     def update(
@@ -260,19 +322,32 @@ class Table:
         unknown = set(assignments) - set(self.schema.column_names)
         if unknown:
             raise SchemaError(f"table {self.name}: unknown columns {sorted(unknown)}")
+        fast = fastpath.is_enabled()
+        if isinstance(predicate, Expression):
+            check = predicate.compile() if fast else predicate.evaluate
+            matches: Callable[[Row], bool] = lambda row: check(row) is True
+        elif predicate is not None:
+            matches = predicate
+        else:
+            matches = lambda row: True
+        # (is_expression, value-or-evaluator) per assignment, resolved once.
+        plan: list[tuple[str, bool, Any]] = [
+            (
+                name,
+                isinstance(value, Expression),
+                (value.compile() if fast else value.evaluate)
+                if isinstance(value, Expression)
+                else value,
+            )
+            for name, value in assignments.items()
+        ]
         updated = 0
         for position, row in enumerate(self._rows):
-            if predicate is not None:
-                if isinstance(predicate, Expression):
-                    if predicate.evaluate(row) is not True:
-                        continue
-                elif not predicate(row):
-                    continue
+            if not matches(row):
+                continue
             new_values = dict(row)
-            for name, value in assignments.items():
-                if isinstance(value, Expression):
-                    value = value.evaluate(row)
-                new_values[name] = value
+            for name, is_expr, value in plan:
+                new_values[name] = value(row) if is_expr else value
             new_row = self._normalize(new_values)
             self._replace_at(position, new_row)
             updated += 1
@@ -280,6 +355,8 @@ class Table:
                 self.listener(self.name, "set", (position, new_row))
         if updated:
             self.rows_written += updated
+            if self._observers:
+                self._notify_mutation()
         return updated
 
     def truncate(self) -> int:
@@ -307,6 +384,9 @@ class Table:
         """
         self._rows = [dict(row) for row in rows]
         self._rebuild_indexes()
+        self._generation += 1
+        if self._observers:
+            self._notify_mutation()
 
     def redo(self, op: str, payload: tuple) -> None:
         """Re-apply one journaled change record (crash-recovery redo).
@@ -322,15 +402,23 @@ class Table:
         elif op == "set":
             position, row = payload
             self._replace_at(position, dict(row))
+            if self._observers:
+                self._notify_mutation()
         elif op == "delete_at":
             removed_set = set(payload[0])
             self._rows = [
                 r for p, r in enumerate(self._rows) if p not in removed_set
             ]
             self._rebuild_indexes()
+            self._generation += 1
+            if self._observers:
+                self._notify_mutation()
         elif op == "truncate":
             self._rows.clear()
             self._rebuild_indexes()
+            self._generation += 1
+            if self._observers:
+                self._notify_mutation()
         elif op == "create_index":
             index_name, cols = payload
             if self.has_index(index_name):
@@ -345,14 +433,25 @@ class Table:
     # -- reads ------------------------------------------------------------------
 
     def get(self, key: tuple | Any) -> Row | None:
-        """Primary-key point lookup; scalar keys may be passed bare."""
+        """Primary-key point lookup; scalar keys may be passed bare.
+
+        Fast path returns the stored row by reference — safe because the
+        table replaces rows wholesale on mutation and callers treat read
+        results as immutable.
+        """
         if self._pk_index is None:
             raise QueryError(f"table {self.name}: no primary key declared")
         if not isinstance(key, tuple):
             key = (key,)
         position = self._pk_index.get(key)
         self.rows_read += 1
-        return dict(self._rows[position]) if position is not None else None
+        if position is None:
+            return None
+        if fastpath.is_enabled():
+            fastpath.STATS.rows_shared += 1
+            return self._rows[position]
+        fastpath.STATS.rows_copied += 1
+        return dict(self._rows[position])
 
     def lookup(self, index_name: str, key: tuple | Any) -> list[Row]:
         """Equality lookup via a secondary index."""
@@ -370,6 +469,10 @@ class Table:
             )
         positions = mapping.get(key, [])
         self.rows_read += len(positions)
+        if fastpath.is_enabled():
+            fastpath.STATS.rows_shared += len(positions)
+            return [self._rows[p] for p in positions]
+        fastpath.STATS.rows_copied += len(positions)
         return [dict(self._rows[p]) for p in positions]
 
     def scan(
@@ -377,13 +480,121 @@ class Table:
     ) -> list[Row]:
         """Full scan, optionally filtered."""
         self.rows_read += len(self._rows)
+        if fastpath.is_enabled():
+            if predicate is None:
+                rows = list(self._rows)
+            elif isinstance(predicate, Expression):
+                fn = predicate.compile()
+                rows = [r for r in self._rows if fn(r) is True]
+            else:
+                rows = [r for r in self._rows if predicate(r)]
+            fastpath.STATS.rows_shared += len(rows)
+            return rows
         if predicate is None:
-            return [dict(r) for r in self._rows]
-        if isinstance(predicate, Expression):
-            return [dict(r) for r in self._rows if predicate.evaluate(r) is True]
-        return [dict(r) for r in self._rows if predicate(r)]
+            rows = [dict(r) for r in self._rows]
+        elif isinstance(predicate, Expression):
+            rows = [dict(r) for r in self._rows if predicate.evaluate(r) is True]
+        else:
+            rows = [dict(r) for r in self._rows if predicate(r)]
+        fastpath.STATS.rows_copied += len(rows)
+        return rows
 
     def to_relation(self) -> Relation:
-        """Snapshot the table contents as a :class:`Relation`."""
+        """Snapshot the table contents as a :class:`Relation`.
+
+        Fast path shares the row dicts (fresh list, so later inserts and
+        deletes cannot grow or shrink the snapshot; updates replace dicts
+        wholesale, so shared dicts keep their snapshot values) and links
+        the relation back to this table for index-aware joins.
+        """
         self.rows_read += len(self._rows)
+        if fastpath.is_enabled():
+            return Relation.from_trusted(
+                tuple(self.schema.column_names),
+                list(self._rows),
+                source=(self, self._generation),
+            )
         return Relation(self.schema.column_names, [dict(r) for r in self._rows])
+
+    # -- index probing (fast path) --------------------------------------------------
+
+    def charge_scan(self) -> None:
+        """Charge ``rows_read`` as a full scan would, without reading.
+
+        Index-backed fast paths (predicate pushdown, incremental MV
+        maintenance) answer queries without touching every row, but the
+        engine's cost model — and the golden NAVG+ tables pinned on it —
+        price the *logical* work.  Charging scan-equivalent reads keeps
+        counters byte-identical between the naive and fast paths.
+        """
+        self.rows_read += len(self._rows)
+
+    def _probe_for(
+        self, cols: tuple[str, ...]
+    ) -> Callable[[tuple], Sequence[int]] | None:
+        """A position-probe over an existing index covering ``cols``.
+
+        Returns a callable mapping a key tuple (values in ``cols`` order)
+        to row positions in ascending order — the same row order a
+        per-call hash index built over the rows would produce — or None
+        when neither the pk nor any secondary index covers exactly these
+        columns.
+        """
+        pk = tuple(self.schema.primary_key or ())
+        if (
+            self._pk_index is not None
+            and len(pk) == len(cols)
+            and set(pk) == set(cols)
+        ):
+            index = self._pk_index
+            reorder = None if pk == cols else tuple(cols.index(c) for c in pk)
+
+            def probe_pk(key: tuple) -> Sequence[int]:
+                if reorder is not None:
+                    key = tuple(key[i] for i in reorder)
+                position = index.get(key)
+                return () if position is None else (position,)
+
+            return probe_pk
+        for index_name in sorted(self._secondary):
+            icols, mapping = self._secondary[index_name]
+            if len(icols) == len(cols) and set(icols) == set(cols):
+                reorder = (
+                    None if icols == cols else tuple(cols.index(c) for c in icols)
+                )
+
+                def probe_secondary(
+                    key: tuple,
+                    _mapping: dict[tuple, list[int]] = mapping,
+                    _reorder: tuple[int, ...] | None = reorder,
+                ) -> Sequence[int]:
+                    if _reorder is not None:
+                        key = tuple(key[i] for i in _reorder)
+                    return _mapping.get(key, ())
+
+                return probe_secondary
+        return None
+
+    def probe_candidates(self, eq: Mapping[str, Any]) -> list[Row] | None:
+        """Index-backed candidate rows for an equality binding, uncounted.
+
+        ``eq`` maps column names to required values.  When the pk or a
+        secondary index is covered by the bound columns, returns the
+        matching rows (by reference, in storage order) — a *superset*
+        filter for the original predicate, which the caller must still
+        apply in full.  Returns None when no index applies; never touches
+        ``rows_read`` (the caller charges scan-equivalent cost).
+        """
+        if not eq:
+            return None
+        bound = set(eq)
+        pk = tuple(self.schema.primary_key or ())
+        if self._pk_index is not None and pk and set(pk) <= bound:
+            position = self._pk_index.get(tuple(eq[c] for c in pk))
+            return [] if position is None else [self._rows[position]]
+        for index_name in sorted(self._secondary):
+            icols, mapping = self._secondary[index_name]
+            if icols and set(icols) <= bound:
+                positions = mapping.get(tuple(eq[c] for c in icols), [])
+                return [self._rows[p] for p in positions]
+        return None

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.errors import (
     AttemptTimeout,
@@ -21,6 +21,8 @@ from repro.errors import (
     EngineError,
     TransientEngineFault,
 )
+from repro.db import fastpath
+from repro.db.expressions import Expression
 from repro.engine.costs import CostBreakdown, CostParameters
 from repro.mtm.context import ExecutionContext
 from repro.mtm.message import Message
@@ -166,6 +168,9 @@ class IntegrationEngine:
         #: Execution profile of the most recent ``_execute_instance``,
         #: captured by subclasses via :meth:`_capture_profile`.
         self._last_profile: ExecutionProfile | None = None
+        #: Fast-path counter snapshot taken when profiling was armed,
+        #: so _capture_profile can attribute kernel work per instance.
+        self._profile_fastpath_base = fastpath.STATS.copy()
         #: Retry/backoff + fault-injection context (attached by the
         #: BenchmarkClient, like observability); None = fail-fast, the
         #: exact pre-resilience behavior.
@@ -212,13 +217,20 @@ class IntegrationEngine:
         if self._observability.enabled:
             context.operator_log = []
             context.network_log = []
+            self._profile_fastpath_base = fastpath.STATS.copy()
 
     def _capture_profile(self, context: ExecutionContext) -> None:
         """Stash the context's logs for the span emission in handle_event."""
         if context.operator_log is not None:
+            delta = fastpath.STATS - self._profile_fastpath_base
             self._last_profile = ExecutionProfile(
                 operators=context.operator_log,
                 network_calls=context.network_log or [],
+                fastpath={
+                    key: value
+                    for key, value in delta.snapshot().items()
+                    if value
+                },
             )
 
     # -- deployment -----------------------------------------------------------
@@ -237,6 +249,39 @@ class IntegrationEngine:
             unknown = [s for s in deployed.subprocess_ids() if s not in known]
             if not unknown:
                 assert_valid_definition(deployed)
+
+    def _warm_plan_cache(self, process: ProcessType) -> None:
+        """Compile every expression of a process tree at deploy time.
+
+        Both engines call this from deploy so the compiled-closure cache
+        (see ``repro.db.expressions.compile_expression``) is warmed once
+        per plan — the interpreter's "plan cache", and the federated
+        engine's analogue of preparing trigger/procedure bodies —
+        instead of the first instance of each type paying compilation.
+        A no-op on the naive path.
+        """
+        if not fastpath.is_enabled():
+            return
+        for node in process.root.iter_tree():
+            for value in vars(node).values():
+                if isinstance(value, Expression):
+                    value.compile()
+                elif isinstance(value, Mapping):
+                    for item in value.values():
+                        if isinstance(item, Expression):
+                            item.compile()
+                elif isinstance(value, (list, tuple)):
+                    for item in value:
+                        if isinstance(item, Expression):
+                            item.compile()
+                        else:  # e.g. SwitchCase guards
+                            guard = getattr(item, "guard", None)
+                            if isinstance(guard, Expression):
+                                guard.compile()
+                else:  # e.g. Invoke request builders carrying a predicate
+                    embedded = getattr(value, "predicate", None)
+                    if isinstance(embedded, Expression):
+                        embedded.compile()
 
     def deploy_all(self, processes: Iterable[ProcessType]) -> None:
         for process in processes:
@@ -627,6 +672,9 @@ class IntegrationEngine:
             span.set_attribute("attempts", record.attempts)
         if record.error_type:
             span.set_attribute("error_type", record.error_type)
+        if profile is not None:
+            for key, value in profile.fastpath.items():
+                span.set_attribute(f"db_{key}", value)
         if record.start > record.arrival:
             tracer.record(
                 "queue-wait", record.arrival, record.start,

@@ -83,6 +83,9 @@ class FederatedEngine(IntegrationEngine):
             self._deploy_queue_table(process)
         else:
             self._deploy_procedure(process)
+        # The DBMS analogue of preparing the trigger/procedure body:
+        # every expression of the plan is compiled once at CREATE time.
+        self._warm_plan_cache(process)
 
     def queue_table_name(self, process_id: str) -> str:
         return f"{process_id}_Queue"

@@ -53,6 +53,16 @@ class MtmInterpreterEngine(IntegrationEngine):
         #: Trace logs of completed instances, when tracing is on.
         self.traces: list[tuple[str, list[str]]] = []
 
+    def deploy(self, process: ProcessType) -> None:
+        """Install one process and warm its plan cache.
+
+        Compiling every expression of the plan at deploy time is the
+        interpreter's plan cache: instances then run entirely on
+        compiled closures (the relational kernel's fast path).
+        """
+        super().deploy(process)
+        self._warm_plan_cache(process)
+
     def _new_context(self) -> ExecutionContext:
         context = ExecutionContext(
             self.registry,

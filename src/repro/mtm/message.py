@@ -62,7 +62,9 @@ class Message:
         if isinstance(payload, XmlElement):
             payload = payload.copy()
         elif isinstance(payload, Relation):
-            payload = Relation(payload.columns, payload.to_dicts())
+            # to_dicts() materializes exact-width row copies, so the new
+            # relation can adopt them without re-validation.
+            payload = Relation.from_trusted(payload.columns, payload.to_dicts())
         return Message(payload, self.message_type, headers=dict(self.headers))
 
 

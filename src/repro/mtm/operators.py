@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import ProcessDefinitionError, ProcessRuntimeError, ValidationError
+from repro.db import fastpath
 from repro.db.expressions import Expression
 from repro.db.relation import Relation
 from repro.mtm.context import (
@@ -263,6 +264,13 @@ class Join(Operator):
         self.output = output
         self.on = list(on)
         self.how = how
+        #: Set by the optimizer's route_joins_through_indexes rewrite:
+        #: ``"table.index"`` when the right input is a table extract whose
+        #: pk/secondary index covers the join key.  The relational kernel
+        #: discovers this dynamically anyway (``Relation.join`` probes
+        #: table-backed right sides); the hint records the plan decision
+        #: for ablation studies and ``repro profile`` output.
+        self.index_hint: str | None = None
 
     def execute(self, context: ExecutionContext) -> None:
         left = context.get(self.left).relation()
@@ -447,13 +455,28 @@ class ValidateRows(Operator):
         context.charge_work(
             WORK_RELATIONAL, float(len(relation) * len(self.checks))
         )
+        fast = fastpath.is_enabled()
+        if fast:
+            compiled = []
+            for rule_name, predicate in self.checks.items():
+                relation._guard_expression(predicate)
+                compiled.append((rule_name, predicate.compile()))
+        else:
+            compiled = [
+                (rule_name, predicate.evaluate)
+                for rule_name, predicate in self.checks.items()
+            ]
+        narrow = relation._wide
         violations: list[str] = []
         good_rows = []
         for row in relation.rows:
             row_ok = True
-            for rule_name, predicate in self.checks.items():
-                if predicate.evaluate(row) is not True:
-                    violations.append(f"{rule_name}: {row!r}")
+            for rule_name, check in compiled:
+                if check(row) is not True:
+                    # Violation text must not leak extra keys a shared
+                    # wide row physically carries.
+                    shown = relation._narrow_row(row) if narrow else row
+                    violations.append(f"{rule_name}: {shown!r}")
                     row_ok = False
             if row_ok:
                 good_rows.append(row)
@@ -465,7 +488,13 @@ class ValidateRows(Operator):
             )
         if violations:
             context.validation_failures.append(violations)
-        context.set(self.output, Message(Relation(relation.columns, good_rows)))
+        if fast:
+            result = Relation.from_trusted(
+                relation.columns, good_rows, wide=relation._wide
+            )
+        else:
+            result = Relation(relation.columns, good_rows)
+        context.set(self.output, Message(result))
 
 
 class Delete(Operator):

@@ -42,3 +42,7 @@ class ExecutionProfile:
 
     operators: list[OperatorObservation] = field(default_factory=list)
     network_calls: list[NetworkObservation] = field(default_factory=list)
+    #: Relational-kernel operation deltas for this instance (non-zero
+    #: ``repro.db.fastpath`` counters: rows copied/shared, compiled
+    #: expressions, index joins, MV maintenance).
+    fastpath: dict[str, int] = field(default_factory=dict)

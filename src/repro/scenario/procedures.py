@@ -25,6 +25,7 @@ from __future__ import annotations
 import re
 from typing import Mapping
 
+from repro.db.active import ViewJoin, ViewQuery
 from repro.db.database import Database
 from repro.db.expressions import col, func, lit
 from repro.db.relation import Relation
@@ -102,8 +103,65 @@ def sp_clear_movement_data(db: Database) -> dict[str, int]:
     return {"orders": orders, "orderlines": lines}
 
 
+def orders_mv_query() -> ViewQuery:
+    """OrdersMV (Fig. 3) as a declarative :class:`ViewQuery`.
+
+    Same query as :func:`orders_mv_definition`, but in the declarative
+    form the database can maintain incrementally: P03 appends order
+    facts between refreshes, so sp_refreshOrdersMV (P13) folds only the
+    new rows into the aggregate instead of recomputing the view.
+    Built fresh per database so compiled-expression cache hits stay
+    deterministic per run.
+    """
+    return ViewQuery(
+        fact_table="orders",
+        joins=(
+            ViewJoin(
+                table="customer",
+                on=(("custkey", "custkey"),),
+                columns=(("custkey", "custkey"), ("citykey", "citykey")),
+            ),
+            ViewJoin(
+                table="city",
+                on=(("citykey", "citykey"),),
+                columns=(("citykey", "citykey"), ("nationkey", "nationkey")),
+            ),
+            ViewJoin(
+                table="nation",
+                on=(("nationkey", "nationkey"),),
+                columns=(("nationkey", "nationkey"), ("nation_name", "name")),
+            ),
+        ),
+        extend=(("orderyear", func("YEAR", col("orderdate"))),),
+        group_keys=("nation_name", "orderyear"),
+        aggregates=(
+            ("order_count", ("COUNT", None)),
+            ("revenue", ("SUM", "totalprice")),
+        ),
+    )
+
+
+def mart_revenue_view_query() -> ViewQuery:
+    """Per-mart OrdersMV (P09/P15 shape) as a :class:`ViewQuery`."""
+    return ViewQuery(
+        fact_table="orders",
+        joins=(
+            ViewJoin(
+                table="customer",
+                on=(("custkey", "custkey"),),
+                columns=(("custkey", "custkey"), ("segment", "segment")),
+            ),
+        ),
+        group_keys=("segment",),
+        aggregates=(
+            ("order_count", ("COUNT", None)),
+            ("revenue", ("SUM", "totalprice")),
+        ),
+    )
+
+
 def orders_mv_definition(db: Database) -> Relation:
-    """OrdersMV (Fig. 3): revenue and order count per nation and year."""
+    """OrdersMV as an opaque callable (naive reference for equivalence tests)."""
     orders = db.query("orders")
     customer = db.query("customer").keep("custkey", "citykey")
     city = db.query("city").project({"citykey": "citykey", "nationkey": "nationkey"})
@@ -126,7 +184,7 @@ def orders_mv_definition(db: Database) -> Relation:
 
 
 def mart_revenue_view_definition(db: Database) -> Relation:
-    """Per-mart OrdersMV: revenue and order count per customer segment."""
+    """Per-mart OrdersMV as an opaque callable (naive reference)."""
     orders = db.query("orders")
     customer = db.query("customer").keep("custkey", "segment")
     joined = orders.join(customer, on=[("custkey", "custkey")])
@@ -164,7 +222,7 @@ def install_procedures(
         "remove loaded movement data for delta determination (P13)",
     )
 
-    dwh.create_materialized_view("OrdersMV", orders_mv_definition)
+    dwh.create_materialized_view("OrdersMV", orders_mv_query())
     dwh.create_procedure(
         "sp_refreshOrdersMV",
         lambda db: db.materialized_view("OrdersMV").refresh(db),
@@ -172,7 +230,7 @@ def install_procedures(
     )
 
     for mart_db in marts.values():
-        mart_db.create_materialized_view("OrdersMV", mart_revenue_view_definition)
+        mart_db.create_materialized_view("OrdersMV", mart_revenue_view_query())
         mart_db.create_procedure(
             "sp_refreshViews",
             lambda db: db.materialized_view("OrdersMV").refresh(db),

@@ -147,13 +147,14 @@ class DatabaseService(ServiceEndpoint):
 
     def op_query(self, request: Envelope) -> Envelope:
         spec = request.body
-        relation = self.database.query(spec["table"])
-        predicate: Expression | None = spec.get("predicate")
-        if predicate is not None:
-            relation = relation.select(predicate)
-        columns = spec.get("columns")
-        if columns:
-            relation = relation.keep(*columns)
+        # Predicate and projection are pushed into the database: equality
+        # prefixes covered by an index are answered by probes (with
+        # scan-equivalent cost accounting; see Database.query).
+        relation = self.database.query(
+            spec["table"],
+            predicate=spec.get("predicate"),
+            columns=spec.get("columns") or None,
+        )
         return Envelope.for_relation("result", relation)
 
     def op_update(self, request: Envelope) -> Envelope:
@@ -161,7 +162,9 @@ class DatabaseService(ServiceEndpoint):
         table = self.database.table(spec["table"])
         mode = spec.get("mode", "insert")
         rows = spec["rows"]
-        rows = rows.rows if isinstance(rows, Relation) else rows
+        # iter_narrow() projects away any extra keys a zero-copy wide
+        # relation may physically carry before rows reach table storage.
+        rows = rows.iter_narrow() if isinstance(rows, Relation) else rows
         if mode == "insert":
             count = 0
             for row in rows:

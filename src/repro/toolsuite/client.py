@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
+from repro.db import fastpath
 from repro.engine.base import InstanceRecord, IntegrationEngine, ProcessEvent
 from repro.errors import BenchmarkError, EngineCrashed, FaultSpecError
 from repro.metrics.navg import MetricReport
@@ -288,6 +289,10 @@ class BenchmarkClient:
     def run(self, verify: bool = True) -> BenchmarkResult:
         """Execute phases pre/work/post and return the result."""
         tracer = self.observability.tracer
+        # Fast-path counters are process-global; report per-run deltas so
+        # gauges stay identical whether runs share a process (serial
+        # sweep) or get one each (parallel sweep workers).
+        fastpath_base = fastpath.STATS.copy()
         if tracer.enabled:
             tracer.time_offset = 0.0
             self._run_span = tracer.begin(
@@ -311,6 +316,18 @@ class BenchmarkClient:
             self._run_span.end(self._trace_offset)
             self._run_span = None
         verification = self._phase_post(verify)
+        if self.observability.metrics.enabled:
+            delta = fastpath.STATS - fastpath_base
+            registry = self.observability.metrics
+            registry.gauge("db_rows_copied").set(float(delta.rows_copied))
+            registry.gauge("db_rows_shared").set(float(delta.rows_shared))
+            registry.gauge("expr_compiled").set(float(delta.expr_compiled))
+            registry.gauge("db_index_joins").set(float(delta.index_joins))
+            registry.gauge("db_pushdowns").set(float(delta.pushdowns))
+            registry.gauge("mv_incremental").set(float(delta.mv_incremental))
+            registry.gauge("mv_full_recompute").set(
+                float(delta.mv_full_recompute)
+            )
         metrics = self.monitor.metrics()
         return BenchmarkResult(
             factors=self.factors,

