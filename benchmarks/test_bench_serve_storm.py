@@ -1,0 +1,73 @@
+"""Bench — serving-layer throughput and overhead under a seeded storm.
+
+Boots the benchmark-as-a-service stack in-process and drives a
+1000-client two-tenant open-loop storm against it, reporting accepted
+throughput, per-tenant p50/p95/p99 round-trip latency and the
+serve-vs-engine overhead split — the Darmont credibility number: how
+much the harness itself costs per served session.
+
+Wall-clock throughput varies with the machine; what is asserted on
+every run is the serving layer's *behavioural* contract: the accounting
+identity (submitted = accepted + rejected + errors), a bounded queue,
+rejections correctly attributed by reason, and zero transport errors
+against a healthy local server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serve import ServeConfig, StormConfig, TenantPolicy, run_storm
+
+from benchmarks.conftest import write_artifact
+
+STORM = StormConfig(
+    clients=1000,
+    tenants=("acme", "globex"),
+    model="open",
+    rate=800.0,
+    seed=7,
+    distinct=2,
+    datasize=0.02,
+    time=1.0,
+)
+
+SERVER = ServeConfig(
+    engine_slots=2,
+    queue_capacity=64,
+    default_policy=TenantPolicy(
+        name="default", rate=400.0, burst=40.0, max_active=8
+    ),
+)
+
+
+def test_bench_serve_storm(benchmark):
+    report = benchmark.pedantic(
+        lambda: asyncio.run(run_storm(STORM, serve_config=SERVER)),
+        rounds=1, iterations=1,
+    )
+
+    # The behavioural contract, regardless of machine speed.
+    report.check()
+    assert report.submitted == STORM.clients
+    assert report.errors == 0
+    assert report.rejected > 0, "an 800/s storm against quota 8 must bounce"
+    assert report.healthz["queue_depth"] <= SERVER.queue_capacity
+
+    doc = report.to_json()
+    rows = [
+        f"Serve storm: {STORM.clients} clients, {len(STORM.tenants)} "
+        f"tenants, open loop at {STORM.rate:g}/s, seed {STORM.seed}",
+        f"duration {report.duration_s:.2f}s — {report.accepted} accepted "
+        f"({report.accepted / report.duration_s:.1f}/s), "
+        f"{report.rejected} rejected, {report.errors} errors",
+        "",
+        report.format(),
+    ]
+    print("\n".join(rows))
+    write_artifact("BENCH_serve_storm.txt", "\n".join(rows) + "\n")
+    write_artifact(
+        "BENCH_serve_storm.json",
+        json.dumps(doc, indent=2, sort_keys=True) + "\n",
+    )

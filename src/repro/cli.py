@@ -16,6 +16,9 @@ Usage (also available as ``python -m repro``)::
     python -m repro recover --engine federated --crash-at 300
     python -m repro trace --engine interpreter --periods 2 --out trace.json
     python -m repro profile --engine interpreter --periods 2 --out prof.json
+    python -m repro serve --port 8321 --tenant acme:rate=20:active=4
+    python -m repro storm --clients 1000 --tenants acme,globex --rate 500
+    python -m repro storm --clients 200 --model closed --identity-check
     python -m repro schedule --period 0 --datasize 0.05
     python -m repro faults examples/faults_basic.json
     python -m repro processes
@@ -28,12 +31,14 @@ command composes with CI pipelines.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 from typing import Sequence
 
 from repro.engine import ENGINES
-from repro.errors import FaultSpecError
+from repro.errors import FaultSpecError, ServeError
+from repro.ioutil import write_json_atomic, write_text_atomic
 from repro.mtm.process import validate_definition
 from repro.observability import Observability
 from repro.observability.export import export_prometheus
@@ -233,6 +238,87 @@ def _build_parser() -> argparse.ArgumentParser:
     schedule.add_argument("--datasize", type=float, default=0.05)
     schedule.add_argument("--time", type=float, default=1.0)
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the benchmark-as-a-service HTTP API "
+             "(POST /sessions, GET /sessions/{id}[/report], /healthz)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="listen port (default 8321; 0 picks a free one)")
+    serve.add_argument("--slots", type=int, default=2,
+                       help="concurrent engine executions (default 2)")
+    serve.add_argument("--queue", type=int, default=64,
+                       help="request queue bound; past it sessions are "
+                            "rejected with 429 queue-full (default 64)")
+    serve.add_argument("--dispatcher", choices=("pool", "inline"),
+                       default="pool",
+                       help="pool = worker processes (default), "
+                            "inline = threads in the server process")
+    serve.add_argument("--tenant", action="append", default=[],
+                       metavar="NAME[:rate=R][:burst=B][:active=N]",
+                       help="declare a tenant with its admission policy; "
+                            "repeatable (e.g. acme:rate=20:burst=5:active=4)")
+    serve.add_argument("--closed", action="store_true",
+                       help="closed enrollment: reject tenants not "
+                            "declared via --tenant (default: open, any "
+                            "tenant gets the default policy)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the deterministic result cache")
+
+    storm = commands.add_parser(
+        "storm",
+        help="drive seeded virtual clients against a serve endpoint and "
+             "report per-tenant throughput, latency percentiles and "
+             "backpressure accounting",
+    )
+    storm.add_argument("--clients", type=int, default=1000,
+                       help="virtual clients to launch (default 1000)")
+    storm.add_argument("--tenants", default="acme,globex",
+                       help="comma-separated tenant names (default "
+                            "acme,globex)")
+    storm.add_argument("--model", choices=("open", "closed"),
+                       default="open",
+                       help="arrival model: open = seeded Poisson "
+                            "arrivals at --rate (default), closed = "
+                            "fixed population of --concurrency clients")
+    storm.add_argument("--rate", type=float, default=500.0,
+                       help="open-loop arrivals per second (default 500)")
+    storm.add_argument("--concurrency", type=int, default=16,
+                       help="closed-loop client population (default 16)")
+    storm.add_argument("--seed", type=int, default=7,
+                       help="storm seed: tenants, specs, arrival times "
+                            "and think times all derive from it")
+    storm.add_argument("--distinct", type=int, default=4,
+                       help="distinct specs in the client pool "
+                            "(default 4; repeats are cache hits)")
+    storm.add_argument("--engine", choices=sorted(ENGINES),
+                       default="interpreter")
+    storm.add_argument("--datasize", type=float, default=0.02)
+    storm.add_argument("--time", type=float, default=1.0)
+    storm.add_argument("--host",
+                       help="target a running server instead of "
+                            "self-hosting one in-process")
+    storm.add_argument("--port", type=int)
+    storm.add_argument("--slots", type=int, default=2,
+                       help="self-hosted server engine slots (default 2)")
+    storm.add_argument("--queue", type=int, default=64,
+                       help="self-hosted server queue bound (default 64)")
+    storm.add_argument("--tenant-policy", action="append", default=[],
+                       metavar="NAME[:rate=R][:burst=B][:active=N]",
+                       dest="tenant_policies",
+                       help="self-hosted per-tenant admission policy "
+                            "(same syntax as serve --tenant)")
+    storm.add_argument("--identity-check", action="store_true",
+                       help="after the storm, run every pooled spec "
+                            "directly through BenchmarkClient and fail "
+                            "unless the served reports are byte-identical")
+    storm.add_argument("--out", metavar="FILE.json",
+                       help="write the storm report as JSON (atomic, "
+                            "parents created)")
+    storm.add_argument("--quiet", action="store_true",
+                       help="suppress the per-tenant table")
+
     faults = commands.add_parser(
         "faults",
         help="validate and describe a fault-injection spec file",
@@ -387,13 +473,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"{outcome.error}")
     print(f"sweep fingerprint: {result.fingerprint()}")
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            json.dump(result.to_json(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        write_json_atomic(args.out, result.to_json())
         print(f"sweep written to {args.out}")
     if args.metrics_out:
-        with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            handle.write(export_prometheus(result.merged_metrics()))
+        write_text_atomic(
+            args.metrics_out, export_prometheus(result.merged_metrics())
+        )
         print(f"merged metrics written to {args.metrics_out}")
     return 0 if result.ok else 1
 
@@ -613,6 +698,231 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0 if result.verification.ok else 1
 
 
+def _parse_tenant_policies(items: Sequence[str]) -> dict:
+    """``NAME[:rate=R][:burst=B][:active=N]`` → {name: TenantPolicy}."""
+    from repro.serve import TenantPolicy
+
+    keys = {"rate": float, "burst": float, "active": int}
+    policies = {}
+    for item in items:
+        name, _, rest = item.partition(":")
+        if not name:
+            raise ServeError(f"tenant policy needs a name: {item!r}")
+        kwargs = {}
+        for part in rest.split(":") if rest else ():
+            key, _, value = part.partition("=")
+            if key not in keys:
+                raise ServeError(
+                    f"unknown tenant policy knob {key!r} in {item!r} "
+                    f"(choose from {sorted(keys)})"
+                )
+            try:
+                kwargs["max_active" if key == "active" else key] = (
+                    keys[key](value)
+                )
+            except ValueError:
+                raise ServeError(f"bad value for {key} in {item!r}: {value!r}")
+        policies[name] = TenantPolicy(name=name, **kwargs)
+    return policies
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the benchmark-as-a-service HTTP front end until interrupted."""
+    from repro.serve import (
+        HttpServer,
+        ServeConfig,
+        SessionManager,
+        TenantPolicy,
+    )
+
+    try:
+        config = ServeConfig(
+            queue_capacity=args.queue,
+            engine_slots=args.slots,
+            dispatcher=args.dispatcher,
+            cache=not args.no_cache,
+            tenants=_parse_tenant_policies(args.tenant),
+            default_policy=(
+                None if args.closed else TenantPolicy(name="default")
+            ),
+        )
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def _serve() -> None:
+        server = HttpServer(SessionManager(config))
+        await server.start(host=args.host, port=args.port)
+        tenants = ", ".join(sorted(config.tenants)) or (
+            "closed enrollment" if args.closed else "open enrollment"
+        )
+        print(
+            f"serving DIPBench sessions on http://{server.host}:"
+            f"{server.port} ({config.dispatcher} dispatcher, "
+            f"{config.engine_slots} slot(s), queue {config.queue_capacity}, "
+            f"tenants: {tenants})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop(drain=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nserver stopped")
+    return 0
+
+
+async def _storm_identity_check(config, client) -> list[str]:
+    """Prove served reports equal direct BenchmarkClient execution.
+
+    For every spec in the storm's pool: submit it as a session, fetch the
+    served report, run the identical spec directly through ``run_spec``,
+    and byte-compare the shared report core (landscape digest, run
+    fingerprint, NAVG+ table, latency percentiles).
+    """
+    from repro.parallel.spec import run_spec
+    from repro.serve import CONTRACT_V1, parse_session_request
+    from repro.toolsuite.monitor import Monitor
+
+    core_fields = (
+        "landscape_digest", "fingerprint", "instances", "errors",
+        "verification_ok", "navg_plus", "navg_plus_total", "latency_tu",
+    )
+    loop = asyncio.get_running_loop()
+    problems: list[str] = []
+    for spec_doc in config.spec_pool():
+        doc = {"contract": CONTRACT_V1, "tenant": "identity",
+               "spec": spec_doc}
+        posted = await client.post_session(doc)
+        if posted.status != 202 or posted.doc is None:
+            problems.append(
+                f"identity session rejected ({posted.status}): {spec_doc}"
+            )
+            continue
+        served = await client.get_report(
+            posted.doc["id"], "identity", wait=60.0
+        )
+        if served.status != 200 or served.doc is None:
+            problems.append(
+                f"no served report ({served.status}): {spec_doc}"
+            )
+            continue
+        spec = parse_session_request(doc).spec
+        outcome = await loop.run_in_executor(None, run_spec, spec)
+        monitor = Monitor.merged([outcome])
+        direct = {
+            "landscape_digest": outcome.landscape_digest,
+            "fingerprint": outcome.fingerprint(),
+            "instances": outcome.result.total_instances,
+            "errors": outcome.result.error_instances,
+            "verification_ok": outcome.result.verification.ok,
+            "navg_plus": {
+                m.process_id: round(m.navg_plus, 6)
+                for m in monitor.metrics().rows()
+            },
+            "navg_plus_total": round(outcome.navg_plus_total(), 6),
+            "latency_tu": monitor.latency_percentiles(),
+        }
+        served_core = {k: served.doc.get(k) for k in core_fields}
+        if (json.dumps(served_core, sort_keys=True)
+                != json.dumps(direct, sort_keys=True)):
+            problems.append(
+                f"served report diverges from direct run for {spec.label}: "
+                f"served={json.dumps(served_core, sort_keys=True)} "
+                f"direct={json.dumps(direct, sort_keys=True)}"
+            )
+    return problems
+
+
+def _cmd_storm(args: argparse.Namespace) -> int:
+    """Seeded virtual-client storm; self-hosts a server unless --host."""
+    from repro.serve import (
+        HttpServer,
+        ServeClient,
+        ServeConfig,
+        SessionManager,
+        Storm,
+        StormConfig,
+        TenantPolicy,
+    )
+
+    try:
+        config = StormConfig(
+            clients=args.clients,
+            tenants=tuple(
+                t.strip() for t in args.tenants.split(",") if t.strip()
+            ),
+            model=args.model,
+            rate=args.rate,
+            concurrency=args.concurrency,
+            seed=args.seed,
+            distinct=args.distinct,
+            engine=args.engine,
+            datasize=args.datasize,
+            time=args.time,
+        )
+        serve_config = ServeConfig(
+            queue_capacity=args.queue,
+            engine_slots=args.slots,
+            tenants=_parse_tenant_policies(args.tenant_policies),
+            default_policy=TenantPolicy(name="default"),
+        )
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.host is not None and args.port is None:
+        print("error: --host needs --port", file=sys.stderr)
+        return 2
+
+    async def _run():
+        server = None
+        host, port = args.host, args.port
+        if host is None:
+            server = HttpServer(SessionManager(serve_config))
+            await server.start(host="127.0.0.1", port=0)
+            host, port = server.host, server.port
+        try:
+            storm = Storm(config, ServeClient(host, port))
+            report = await storm.run()
+            mismatches = []
+            if args.identity_check:
+                mismatches = await _storm_identity_check(
+                    config, ServeClient(host, port)
+                )
+            return report, mismatches
+        finally:
+            if server is not None:
+                await server.stop(drain=True)
+
+    report, mismatches = asyncio.run(_run())
+    if not args.quiet:
+        print(report.format())
+    try:
+        report.check()
+    except ServeError as exc:
+        print(f"ACCOUNTING BROKEN: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"accounting: {report.submitted} submitted = {report.accepted} "
+        f"accepted + {report.rejected} rejected + {report.errors} errors"
+    )
+    if args.identity_check:
+        for problem in mismatches:
+            print(f"IDENTITY MISMATCH: {problem}", file=sys.stderr)
+        if not mismatches:
+            print(
+                f"identity check: {len(config.spec_pool())} spec(s) served "
+                f"byte-identical to direct execution"
+            )
+    if args.out:
+        write_json_atomic(args.out, report.to_json())
+        print(f"storm report written to {args.out}")
+    return 1 if mismatches else 0
+
+
 def _cmd_schedule(args: argparse.Namespace) -> int:
     factors = ScaleFactors(datasize=args.datasize, time=args.time)
     schedule = build_schedule(args.period, factors)
@@ -692,6 +1002,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "recover": _cmd_recover,
         "trace": _cmd_trace,
         "profile": _cmd_profile,
+        "serve": _cmd_serve,
+        "storm": _cmd_storm,
         "schedule": _cmd_schedule,
         "faults": _cmd_faults,
         "processes": _cmd_processes,

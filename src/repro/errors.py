@@ -183,6 +183,48 @@ class DeploymentError(EngineError):
     """A process type could not be deployed on the engine."""
 
 
+# --------------------------------------------------------------------- serving
+
+
+class ServeError(ReproError):
+    """Base class for the benchmark-as-a-service front-end."""
+
+
+class TranslationError(ServeError):
+    """An external request does not conform to a supported contract.
+
+    Raised at the API boundary by the versioned message translators;
+    maps to HTTP 400.  ``problems`` lists every violation found, so a
+    client can fix its request in one round trip.
+    """
+
+    def __init__(self, message: str, problems: list[str] | None = None):
+        super().__init__(message)
+        self.problems: list[str] = problems or []
+
+
+class AdmissionRejected(ServeError):
+    """The server refused to enqueue a session (backpressure).
+
+    ``reason`` is a stable machine-readable class (``rate-limited``,
+    ``queue-full``, ``tenant-quota``, ``draining``); ``retry_after`` is
+    the suggested wait in seconds (HTTP ``Retry-After``).
+    """
+
+    def __init__(self, message: str, reason: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class UnknownTenant(ServeError):
+    """The request named a tenant the server has no policy for."""
+
+
+class SessionNotFound(ServeError):
+    """No session with the requested id is visible to the tenant."""
+
+
 # ------------------------------------------------------------------- benchmark
 
 

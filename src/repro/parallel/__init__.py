@@ -18,6 +18,7 @@ the same seeds.
 
 from repro.parallel.executor import SweepExecutor, SweepResult, run_sweep
 from repro.parallel.grid import expand_grid, grid_from_axes, parse_grid_axes
+from repro.parallel.pool import WorkerPool
 from repro.parallel.spec import (
     RunOutcome,
     RunSpec,
@@ -38,4 +39,5 @@ __all__ = [
     "SweepExecutor",
     "SweepResult",
     "run_sweep",
+    "WorkerPool",
 ]

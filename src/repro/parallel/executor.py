@@ -22,73 +22,28 @@ Determinism model
 Worker-crash containment
 ------------------------
 
-The pool is hand-rolled over ``Pipe``-connected worker processes rather
-than ``concurrent.futures`` because a worker that dies outright (OOM
-kill, segfault, ``os._exit``) must fail **only its own grid point**: the
-parent detects the broken pipe, records the point as ``"crashed"`` with
-``error_type="WorkerCrashed"``, replaces the worker, and the sweep
-completes.  (``ProcessPoolExecutor`` marks the whole pool broken
-instead.)
+The pool (:class:`repro.parallel.pool.WorkerPool`) is hand-rolled over
+``Pipe``-connected worker processes rather than ``concurrent.futures``
+because a worker that dies outright (OOM kill, segfault, ``os._exit``)
+must fail **only its own grid point**: the pool detects the broken pipe,
+records the point as ``"crashed"`` with ``error_type="WorkerCrashed"``,
+replaces the worker, and the sweep completes.
+(``ProcessPoolExecutor`` marks the whole pool broken instead.)  The
+same pool, in its persistent form, executes sessions for the
+:mod:`repro.serve` front-end.
 """
 
 from __future__ import annotations
 
 import hashlib
-import multiprocessing
-import os
 import time
-from dataclasses import dataclass, field
-from multiprocessing import connection
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracer import Tracer
+from repro.parallel.pool import WorkerPool, _pick_start_method
 from repro.parallel.spec import RunOutcome, RunSpec, SweepError, run_spec
-
-
-def _pick_start_method(requested: str | None) -> str:
-    """``fork`` where available (fast, inherits the warm interpreter);
-    ``spawn`` otherwise.  Both produce identical outcomes — every worker
-    rebuilds its state from the spec alone."""
-    available = multiprocessing.get_all_start_methods()
-    if requested is not None:
-        if requested not in available:
-            raise SweepError(
-                f"start method {requested!r} not available "
-                f"(have {available})"
-            )
-        return requested
-    return "fork" if "fork" in available else "spawn"
-
-
-def _worker_loop(conn) -> None:
-    """One pool worker: receive (index, spec), send (index, outcome).
-
-    The ``hard-exit`` sabotage hook dies *without* a traceback or a
-    reply, exactly like an externally killed process — it exists so the
-    containment path is testable deterministically.
-    """
-    try:
-        while True:
-            task = conn.recv()
-            if task is None:
-                return
-            index, spec = task
-            if spec.sabotage == "hard-exit":
-                os._exit(70)
-            conn.send((index, run_spec(spec)))
-    except (EOFError, OSError, KeyboardInterrupt):
-        return
-    finally:
-        conn.close()
-
-
-@dataclass
-class _Worker:
-    process: multiprocessing.Process
-    conn: "connection.Connection"
-    #: (index, spec) currently executing, or None when idle.
-    current: tuple[int, RunSpec] | None = None
 
 
 @dataclass
@@ -228,74 +183,23 @@ class SweepExecutor:
 
     # -- pool path ---------------------------------------------------------------
 
-    def _spawn(self, ctx) -> _Worker:
-        parent_conn, child_conn = ctx.Pipe(duplex=True)
-        process = ctx.Process(
-            target=_worker_loop, args=(child_conn,), daemon=True
-        )
-        process.start()
-        child_conn.close()  # the parent keeps only its own end
-        return _Worker(process=process, conn=parent_conn)
-
     def _run_pool(self, specs: list[RunSpec]) -> list[RunOutcome]:
-        ctx = multiprocessing.get_context(self.start_method)
-        pending: list[tuple[int, RunSpec]] = list(enumerate(specs))
-        pending.reverse()  # pop() dispatches in grid order
-        outcomes: list[RunOutcome | None] = [None] * len(specs)
-        remaining = len(specs)
-        pool = [
-            self._spawn(ctx)
-            for _ in range(min(self.workers, len(specs)))
-        ]
+        """Fan the batch out over a :class:`WorkerPool`.
+
+        Specs are submitted in grid order (the pool dispatches FIFO) and
+        outcomes are collected at the spec's original grid index, so
+        completion order — the only thing the worker count changes — is
+        invisible in the merged result.
+        """
+        pool = WorkerPool(
+            workers=min(self.workers, len(specs)),
+            start_method=self.start_method,
+        )
         try:
-            for worker in pool:
-                if pending:
-                    worker.current = pending.pop()
-                    worker.conn.send(worker.current)
-            while remaining:
-                ready = connection.wait([w.conn for w in pool])
-                for conn in ready:
-                    worker = next(w for w in pool if w.conn is conn)
-                    try:
-                        index, outcome = worker.conn.recv()
-                    except (EOFError, OSError):
-                        # The worker died mid-task: contain the failure
-                        # to its grid point and replace the worker.
-                        pool.remove(worker)
-                        worker.conn.close()
-                        worker.process.join()
-                        if worker.current is not None:
-                            index, spec = worker.current
-                            outcomes[index] = RunOutcome.crashed(spec)
-                            remaining -= 1
-                        if pending:
-                            pool.append(self._spawn(ctx))
-                        continue
-                    outcomes[index] = outcome
-                    remaining -= 1
-                    worker.current = None
-                    if pending:
-                        worker.current = pending.pop()
-                        worker.conn.send(worker.current)
-                # Replacement workers spawned above still need a task.
-                for worker in pool:
-                    if worker.current is None and pending:
-                        worker.current = pending.pop()
-                        worker.conn.send(worker.current)
+            futures = [pool.submit(spec) for spec in specs]
+            return [future.result() for future in futures]
         finally:
-            for worker in pool:
-                try:
-                    worker.conn.send(None)
-                except (BrokenPipeError, OSError):
-                    pass
-                worker.conn.close()
-            for worker in pool:
-                worker.process.join(timeout=10.0)
-                if worker.process.is_alive():  # pragma: no cover
-                    worker.process.terminate()
-                    worker.process.join()
-        assert all(o is not None for o in outcomes)
-        return outcomes  # type: ignore[return-value]
+            pool.close()
 
 
 def run_sweep(

@@ -1,0 +1,126 @@
+"""An asyncio HTTP client for the serve API (stdlib only).
+
+Used by the storm load generator, the CLI and the end-to-end tests.
+One request per connection, mirroring the server's ``Connection:
+close`` policy — a virtual client in a storm is exactly one socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ServeError
+
+
+@dataclass
+class HttpReply:
+    """One decoded server response."""
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    doc: dict | None = None
+    text: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def retry_after(self) -> float:
+        return float(self.headers.get("retry-after", "0") or "0")
+
+
+class ServeClient:
+    """Talks v1 contract to one server address."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        doc=None,
+        tenant: str | None = None,
+    ) -> HttpReply:
+        body = json.dumps(doc).encode() if doc is not None else b""
+        head = [f"{method} {path} HTTP/1.1", f"Host: {self.host}"]
+        if tenant:
+            head.append(f"X-Tenant: {tenant}")
+        if body:
+            head.append("Content-Type: application/json")
+        head.append(f"Content-Length: {len(body)}")
+        payload = ("\r\n".join(head) + "\r\n\r\n").encode() + body
+        return await asyncio.wait_for(
+            self._roundtrip(payload), timeout=self.timeout
+        )
+
+    async def _roundtrip(self, payload: bytes) -> HttpReply:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(payload)
+            await writer.drain()
+            status_line = await reader.readline()
+            try:
+                status = int(status_line.decode("latin-1").split()[1])
+            except (IndexError, ValueError):
+                raise ServeError(
+                    f"malformed status line: {status_line!r}"
+                )
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            raw = await reader.readexactly(length) if length else b""
+            reply = HttpReply(status=status, headers=headers)
+            if headers.get("content-type", "").startswith("application/json"):
+                reply.doc = json.loads(raw.decode() or "null")
+            else:
+                reply.text = raw.decode()
+            return reply
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    # -- v1 convenience wrappers ---------------------------------------------------
+
+    async def post_session(
+        self, doc: dict, tenant: str | None = None
+    ) -> HttpReply:
+        return await self.request("POST", "/sessions", doc=doc, tenant=tenant)
+
+    async def get_session(
+        self, session_id: str, tenant: str, wait: float | None = None
+    ) -> HttpReply:
+        path = f"/sessions/{session_id}"
+        if wait is not None:
+            path += f"?wait={wait:g}"
+        return await self.request("GET", path, tenant=tenant)
+
+    async def get_report(
+        self, session_id: str, tenant: str, wait: float | None = None
+    ) -> HttpReply:
+        path = f"/sessions/{session_id}/report"
+        if wait is not None:
+            path += f"?wait={wait:g}"
+        return await self.request("GET", path, tenant=tenant)
+
+    async def healthz(self) -> HttpReply:
+        return await self.request("GET", "/healthz")
+
+    async def tenant_report(self, tenant: str) -> HttpReply:
+        return await self.request("GET", f"/tenants/{tenant}/report")
+
+    async def metrics(self) -> HttpReply:
+        return await self.request("GET", "/metrics")

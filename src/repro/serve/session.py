@@ -1,0 +1,120 @@
+"""Sessions and the tenant-scoped session store.
+
+A *session* is one tenant-submitted benchmark run travelling through
+the serving pipeline: translated at the boundary, admitted (or 429'd),
+queued, executed on a worker, finalized.  Wall-clock timestamps are
+recorded at every hand-off so the serving layer's own overhead — queue
+wait, admission, translation — is metered *separately* from engine
+execution time; a harness whose overhead is invisible is not credible.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.errors import SessionNotFound
+from repro.parallel.spec import RunOutcome, RunSpec
+
+#: Session lifecycle states, in order of travel.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class Session:
+    """One tenant-submitted benchmark run and its lifecycle record."""
+
+    id: str
+    tenant: str
+    spec: RunSpec
+    state: str = QUEUED
+    #: True when the deterministic result cache served this session
+    #: without executing the spec again.
+    cached: bool = False
+    #: Serving-layer overhead, metered per stage (wall seconds).
+    translation_s: float = 0.0
+    admission_s: float = 0.0
+    queue_wait_s: float = 0.0
+    #: Engine execution wall time (0 for cache hits).
+    engine_wall_s: float = 0.0
+    outcome: RunOutcome | None = None
+    error_type: str = ""
+    error: str = ""
+    #: Set when the session leaves the pipeline (done or failed);
+    #: ``GET /sessions/{id}?wait=...`` long-polls on it.
+    finished: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def serve_overhead_s(self) -> float:
+        """Everything the serving layer itself cost this session."""
+        return self.translation_s + self.admission_s + self.queue_wait_s
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+    def finish(self, outcome: RunOutcome) -> None:
+        """Book the run outcome and resolve the session's final state."""
+        self.outcome = outcome
+        if outcome.ok:
+            self.state = DONE
+        else:
+            self.state = FAILED
+            self.error_type = outcome.error_type
+            self.error = outcome.error
+        self.finished.set()
+
+    def fail(self, error_type: str, error: str) -> None:
+        """Terminal failure without an outcome (dispatcher-level)."""
+        self.state = FAILED
+        self.error_type = error_type
+        self.error = error
+        self.finished.set()
+
+
+class SessionStore:
+    """All sessions of one server, with per-tenant isolation.
+
+    Tenants address sessions by id but can only see their own:
+    :meth:`get` takes the *requesting* tenant and answers "not found"
+    for another tenant's session — existence is not leaked either.
+    """
+
+    def __init__(self) -> None:
+        self._sessions: dict[str, Session] = {}
+        self._by_tenant: dict[str, list[Session]] = {}
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def create(self, tenant: str, spec: RunSpec) -> Session:
+        self._counter += 1
+        session = Session(id=f"s-{self._counter:06d}", tenant=tenant, spec=spec)
+        self._sessions[session.id] = session
+        self._by_tenant.setdefault(tenant, []).append(session)
+        return session
+
+    def get(self, session_id: str, tenant: str) -> Session:
+        session = self._sessions.get(session_id)
+        if session is None or session.tenant != tenant:
+            raise SessionNotFound(
+                f"no session {session_id!r} for tenant {tenant!r}"
+            )
+        return session
+
+    def for_tenant(self, tenant: str) -> list[Session]:
+        return list(self._by_tenant.get(tenant, ()))
+
+    def tenants(self) -> list[str]:
+        return sorted(self._by_tenant)
+
+    def count_in_state(self, tenant: str, *states: str) -> int:
+        return sum(
+            1
+            for s in self._by_tenant.get(tenant, ())
+            if s.state in states
+        )

@@ -1,0 +1,272 @@
+"""Versioned request/response translators at the serving boundary.
+
+The Message Translator pattern (Enterprise Integration Patterns):
+external JSON requests are translated into the *canonical* session
+model — :class:`repro.parallel.RunSpec` — and internal state is
+translated back into versioned response documents.  Internal dataclasses
+never leak: a contract bump changes translators, not the engine room.
+
+Contract ``dipbench.session/v1``
+--------------------------------
+
+.. code-block:: json
+
+    {
+      "contract": "dipbench.session/v1",
+      "tenant": "acme",
+      "spec": {
+        "engine": "interpreter",
+        "datasize": 0.05, "time": 1.0, "distribution": 0,
+        "periods": 1, "seed": 42
+      }
+    }
+
+Every ``spec`` field is optional (defaults match the CLI) and every
+*unknown* field is rejected — boundary protection, not silent dropping:
+a misspelled knob must fail loudly, or the tenant benchmarks something
+other than what they asked for.  ``sabotage`` is accepted as a
+documented test hook (it exists on :class:`RunSpec` for exactly this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import TranslationError
+from repro.parallel.spec import RunSpec
+
+#: The one contract this server speaks today.  A v2 adds a new entry
+#: here plus its own translator; v1 requests keep working untouched.
+CONTRACT_V1 = "dipbench.session/v1"
+SUPPORTED_CONTRACTS = (CONTRACT_V1,)
+
+#: v1 ``spec`` fields → (python type, validator).  This is the explicit
+#: boundary whitelist; RunSpec fields deliberately *not* listed here
+#: (fault timelines, observability shard flags) are server-internal.
+_V1_SPEC_FIELDS: dict[str, type] = {
+    "engine": str,
+    "datasize": float,
+    "time": float,
+    "distribution": int,
+    "periods": int,
+    "seed": int,
+    "jitter": float,
+    "engine_workers": int,
+    "sandiego_error_rate": float,
+    "durability": str,
+    "checkpoint_every": float,
+    "verify": bool,
+    "sabotage": str,
+}
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """The canonical form of one admitted-for-translation request."""
+
+    tenant: str
+    spec: RunSpec
+    contract: str = CONTRACT_V1
+
+
+def _coerce(name: str, value: Any, target: type, problems: list[str]):
+    """Strictly typed coercion: ints may widen to float, nothing else."""
+    if target is float and isinstance(value, int) and not isinstance(value, bool):
+        return float(value)
+    if target is int and isinstance(value, bool):
+        problems.append(f"spec.{name}: expected {target.__name__}, got bool")
+        return None
+    if not isinstance(value, target):
+        problems.append(
+            f"spec.{name}: expected {target.__name__}, "
+            f"got {type(value).__name__}"
+        )
+        return None
+    return value
+
+
+def _validate_spec(spec: RunSpec, problems: list[str]) -> None:
+    from repro.engine import ENGINES
+    from repro.storage import DURABILITY_MODES
+
+    if spec.engine not in ENGINES:
+        problems.append(
+            f"spec.engine: unknown engine {spec.engine!r} "
+            f"(choose from {sorted(ENGINES)})"
+        )
+    if not 0 < spec.datasize <= 10.0:
+        problems.append(f"spec.datasize: out of range (0, 10]: {spec.datasize}")
+    if not 0 < spec.time <= 100.0:
+        problems.append(f"spec.time: out of range (0, 100]: {spec.time}")
+    if spec.distribution not in (0, 1, 2, 3):
+        problems.append(
+            f"spec.distribution: must be 0|1|2|3: {spec.distribution}"
+        )
+    if not 1 <= spec.periods <= 100:
+        problems.append(f"spec.periods: out of range [1, 100]: {spec.periods}")
+    if not 0 <= spec.jitter < 1:
+        problems.append(f"spec.jitter: out of range [0, 1): {spec.jitter}")
+    if spec.engine_workers < 1:
+        problems.append(
+            f"spec.engine_workers: must be >= 1: {spec.engine_workers}"
+        )
+    if spec.durability not in ("off",) + DURABILITY_MODES:
+        problems.append(
+            f"spec.durability: must be off|{'|'.join(DURABILITY_MODES)}: "
+            f"{spec.durability!r}"
+        )
+    if spec.sabotage not in ("", "raise", "hard-exit"):
+        problems.append(f"spec.sabotage: unknown hook {spec.sabotage!r}")
+
+
+def parse_session_request(
+    doc: Any, default_tenant: str | None = None
+) -> SessionRequest:
+    """Translate one external JSON document into a :class:`SessionRequest`.
+
+    Collects *every* violation before raising, so the 400 body a tenant
+    sees lists all of them at once.
+    """
+    if not isinstance(doc, Mapping):
+        raise TranslationError(
+            "request body must be a JSON object",
+            problems=["body: expected object"],
+        )
+    problems: list[str] = []
+    contract = doc.get("contract")
+    if contract is None:
+        problems.append(
+            f"contract: required (supported: {', '.join(SUPPORTED_CONTRACTS)})"
+        )
+    elif contract not in SUPPORTED_CONTRACTS:
+        problems.append(
+            f"contract: unsupported {contract!r} "
+            f"(supported: {', '.join(SUPPORTED_CONTRACTS)})"
+        )
+    tenant = doc.get("tenant", default_tenant)
+    if not tenant or not isinstance(tenant, str):
+        problems.append("tenant: required (body field or X-Tenant header)")
+
+    unknown_top = sorted(set(doc) - {"contract", "tenant", "spec"})
+    for name in unknown_top:
+        problems.append(f"{name}: unknown field")
+
+    spec_doc = doc.get("spec", {})
+    fields: dict[str, Any] = {}
+    if not isinstance(spec_doc, Mapping):
+        problems.append("spec: expected object")
+    else:
+        for name in sorted(set(spec_doc) - set(_V1_SPEC_FIELDS)):
+            problems.append(f"spec.{name}: unknown field")
+        for name, target in _V1_SPEC_FIELDS.items():
+            if name not in spec_doc:
+                continue
+            value = spec_doc[name]
+            if name == "checkpoint_every" and value is None:
+                continue
+            coerced = _coerce(name, value, target, problems)
+            if coerced is not None:
+                fields[name] = coerced
+    if problems:
+        raise TranslationError(
+            f"request violates {CONTRACT_V1}: {len(problems)} problem(s)",
+            problems=problems,
+        )
+    spec = RunSpec(**fields)
+    _validate_spec(spec, problems)
+    if problems:
+        raise TranslationError(
+            f"request violates {CONTRACT_V1}: {len(problems)} problem(s)",
+            problems=problems,
+        )
+    return SessionRequest(tenant=tenant, spec=spec, contract=CONTRACT_V1)
+
+
+# -- responses -----------------------------------------------------------------
+
+
+def spec_to_json(spec: RunSpec) -> dict:
+    """Render the canonical spec back into v1 external form."""
+    return {
+        "engine": spec.engine,
+        "datasize": spec.datasize,
+        "time": spec.time,
+        "distribution": spec.distribution,
+        "periods": spec.periods,
+        "seed": spec.seed,
+        "jitter": spec.jitter,
+        "engine_workers": spec.engine_workers,
+        "sandiego_error_rate": spec.sandiego_error_rate,
+        "durability": spec.durability,
+        "checkpoint_every": spec.checkpoint_every,
+        "verify": spec.verify,
+    }
+
+
+def session_to_json(session) -> dict:
+    """The v1 session-status document (``GET /sessions/{id}``).
+
+    ``timings`` splits where the session's wall time went: the serving
+    layer's own overhead (translation, admission, queue wait,
+    finalization) is metered separately from engine execution, so a
+    tenant can see what the harness itself costs (Darmont's credibility
+    requirement for benchmark harnesses).
+    """
+    doc = {
+        "contract": CONTRACT_V1,
+        "id": session.id,
+        "tenant": session.tenant,
+        "state": session.state,
+        "cached": session.cached,
+        "spec": spec_to_json(session.spec),
+        "timings": {
+            "translation_ms": round(session.translation_s * 1e3, 3),
+            "admission_ms": round(session.admission_s * 1e3, 3),
+            "queue_wait_ms": round(session.queue_wait_s * 1e3, 3),
+            "engine_wall_ms": round(session.engine_wall_s * 1e3, 3),
+            "serve_overhead_ms": round(session.serve_overhead_s * 1e3, 3),
+        },
+    }
+    if session.error_type:
+        doc["error_type"] = session.error_type
+        doc["error"] = session.error
+    return doc
+
+
+def report_to_json(session, monitor) -> dict:
+    """The v1 session-report document (``GET /sessions/{id}/report``).
+
+    Built from the session's :class:`RunOutcome` — the same NAVG+,
+    verification and landscape digest a direct
+    :class:`BenchmarkClient` run at this spec produces, byte for byte.
+    """
+    outcome = session.outcome
+    if outcome is None or outcome.result is None:
+        return {
+            "contract": CONTRACT_V1,
+            "id": session.id,
+            "tenant": session.tenant,
+            "state": session.state,
+            "error_type": session.error_type,
+            "error": session.error,
+        }
+    result = outcome.result
+    return {
+        "contract": CONTRACT_V1,
+        "id": session.id,
+        "tenant": session.tenant,
+        "state": session.state,
+        "cached": session.cached,
+        "landscape_digest": outcome.landscape_digest,
+        "fingerprint": outcome.fingerprint(),
+        "instances": result.total_instances,
+        "errors": result.error_instances,
+        "verification_ok": result.verification.ok,
+        "navg_plus": {
+            m.process_id: round(m.navg_plus, 6)
+            for m in result.metrics.rows()
+        },
+        "navg_plus_total": round(outcome.navg_plus_total(), 6),
+        "latency_tu": monitor.latency_percentiles(),
+    }

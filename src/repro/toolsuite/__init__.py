@@ -18,9 +18,12 @@ from repro.toolsuite.initializer import Initializer
 from repro.toolsuite.schedule import ScaleFactors, StreamSchedule, build_schedule
 from repro.toolsuite.client import BenchmarkClient, BenchmarkResult
 from repro.toolsuite.monitor import (
+    LATENCY_POINTS,
     Monitor,
     ResilienceSummary,
     SweepRow,
+    latency_percentiles,
+    percentile,
     sweep_rows,
     sweep_table,
 )
@@ -37,6 +40,9 @@ __all__ = [
     "Monitor",
     "ResilienceSummary",
     "SweepRow",
+    "LATENCY_POINTS",
+    "latency_percentiles",
+    "percentile",
     "sweep_rows",
     "sweep_table",
     "verify_period",

@@ -91,6 +91,40 @@ class RecoverySummary:
         )
 
 
+#: The percentile points every latency report in this codebase uses.
+LATENCY_POINTS = (50, 95, 99)
+
+
+def percentile(values: Sequence[float], point: float) -> float:
+    """Nearest-rank percentile of ``values`` (``point`` in (0, 100]).
+
+    Deterministic and distribution-free: sorts a copy and picks the
+    ``ceil(point/100 * n)``-th smallest value, which is the classic
+    nearest-rank definition — no interpolation, so the result is always
+    an actually observed value.
+    """
+    if not values:
+        return 0.0
+    if not 0 < point <= 100:
+        raise BenchmarkError(f"percentile point must be in (0, 100]: {point}")
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * point // 100))  # ceil division
+    return ordered[int(rank) - 1]
+
+
+def latency_percentiles(
+    values: Sequence[float], points: Sequence[int] = LATENCY_POINTS
+) -> dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` over ``values``.
+
+    The shared helper behind :meth:`Monitor.latency_percentiles` (engine
+    instance latencies in tu) and the serving layer's per-tenant reports
+    (session round-trip latencies in wall seconds) — one definition, so
+    the two kinds of percentile are comparable in shape.
+    """
+    return {f"p{point:g}": percentile(values, point) for point in points}
+
+
 @dataclass(frozen=True)
 class SweepRow:
     """One grid point's aggregate line in the sweep summary."""
@@ -106,6 +140,9 @@ class SweepRow:
     navg_plus_total: float
     digest: str
     error_type: str = ""
+    #: p95 instance latency (arrival → completion) in tu; 0 when the
+    #: grid point produced no records.
+    p95_latency_tu: float = 0.0
 
     def format(self) -> str:
         detail = (
@@ -115,7 +152,8 @@ class SweepRow:
             f"{self.engine:<12}{self.datasize:>8g}{self.time:>6g}"
             f"{self.distribution:>3}{self.seed:>8}  {self.status:<8}"
             f"{self.instances:>7}{self.errors:>5}"
-            f"{self.navg_plus_total:>12.2f}  {detail}"
+            f"{self.navg_plus_total:>12.2f}{self.p95_latency_tu:>10.2f}"
+            f"  {detail}"
         )
 
 
@@ -124,6 +162,11 @@ def sweep_rows(outcomes: "Sequence[RunOutcome]") -> list[SweepRow]:
     rows = []
     for outcome in outcomes:
         result = outcome.result
+        p95 = 0.0
+        if result is not None and result.records:
+            p95 = percentile(
+                [r.elapsed * outcome.spec.time for r in result.records], 95
+            )
         rows.append(
             SweepRow(
                 engine=outcome.spec.engine,
@@ -137,6 +180,7 @@ def sweep_rows(outcomes: "Sequence[RunOutcome]") -> list[SweepRow]:
                 navg_plus_total=outcome.navg_plus_total(),
                 digest=outcome.landscape_digest,
                 error_type=outcome.error_type,
+                p95_latency_tu=p95,
             )
         )
     return rows
@@ -146,12 +190,14 @@ def sweep_table(outcomes: "Sequence[RunOutcome]") -> str:
     """Fixed-width summary of a sweep, one line per grid point.
 
     The Monitor-side merge view of a parallel sweep: every grid point's
-    instance counts, total NAVG+ (in tu) and landscape digest, in
-    deterministic grid order regardless of which worker finished first.
+    instance counts, total NAVG+ (in tu), p95 instance latency and
+    landscape digest, in deterministic grid order regardless of which
+    worker finished first.
     """
     header = (
         f"{'engine':<12}{'d':>8}{'t':>6}{'f':>3}{'seed':>8}  "
-        f"{'status':<8}{'inst':>7}{'err':>5}{'NAVG+Σ':>12}  digest/error"
+        f"{'status':<8}{'inst':>7}{'err':>5}{'NAVG+Σ':>12}{'p95':>10}"
+        f"  digest/error"
     )
     lines = [header, "-" * len(header)]
     lines.extend(row.format() for row in sweep_rows(outcomes))
@@ -258,6 +304,21 @@ class Monitor:
         """One period's NAVG+ metrics, reported in tu like :meth:`metrics`."""
         subset = [r for r in self.records if r.period == period]
         return self._scaled(compute_metrics(subset))
+
+    def latency_percentiles(
+        self, points: Sequence[int] = LATENCY_POINTS
+    ) -> dict[str, float]:
+        """p50/p95/p99 instance latency over the absorbed records, in tu.
+
+        Latency is the instance's sojourn time — schedule arrival to
+        completion, queue wait included — which is what a tenant of the
+        serving layer experiences per process instance.  Reported in tu
+        like every other Monitor time, and consumed by both the
+        ``repro serve`` per-tenant reports and :func:`sweep_table`.
+        """
+        return latency_percentiles(
+            [r.elapsed * self.time_scale for r in self.records], points
+        )
 
     def resilience_summary(self) -> ResilienceSummary:
         """Recovery/degradation statistics of the absorbed records.

@@ -1,0 +1,218 @@
+"""The `repro storm` load generator: determinism, accounting, models.
+
+Engine execution is stubbed so hundreds of virtual clients settle in
+well under a second; what is under test is the generator itself — the
+seeded client plans, the open/closed arrival models, the accounting
+identity (submitted = accepted + rejected + errors) and the report
+shape the CLI prints.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import ServeError
+from repro.parallel.spec import RunOutcome
+from repro.serve import (
+    ServeConfig,
+    StormConfig,
+    StormReport,
+    TenantTally,
+    TenantPolicy,
+    run_storm,
+)
+from repro.serve.storm import _plan_clients
+
+
+@pytest.fixture()
+def fast_runs(monkeypatch):
+    def fake_run_spec(spec):
+        time.sleep(0.001)
+        return RunOutcome(
+            spec=spec, status="ok",
+            landscape_digest=f"digest-{spec.seed}", wall_seconds=0.001,
+        )
+
+    monkeypatch.setattr("repro.serve.dispatch.run_spec", fake_run_spec)
+    return fake_run_spec
+
+
+def _serve_config(**kwargs):
+    kwargs.setdefault("dispatcher", "inline")
+    kwargs.setdefault("engine_slots", 4)
+    return ServeConfig(**kwargs)
+
+
+GENEROUS = TenantPolicy(name="default", rate=1e6, burst=1e6, max_active=10_000)
+
+
+class TestClientPlans:
+    def test_same_seed_same_plans(self):
+        config = StormConfig(clients=50, seed=13)
+        first = _plan_clients(config)
+        second = _plan_clients(config)
+        assert first == second
+
+    def test_different_seed_different_plans(self):
+        a = _plan_clients(StormConfig(clients=50, seed=1))
+        b = _plan_clients(StormConfig(clients=50, seed=2))
+        assert [p.at for p in a] != [p.at for p in b]
+
+    def test_tenants_round_robin(self):
+        plans = _plan_clients(StormConfig(clients=6, tenants=("a", "b", "c")))
+        assert [p.tenant for p in plans] == ["a", "b", "c"] * 2
+
+    def test_specs_come_from_the_pool(self):
+        config = StormConfig(clients=40, distinct=3)
+        pool = config.spec_pool()
+        assert len(pool) == 3
+        for plan in _plan_clients(config):
+            assert plan.spec in pool
+
+    def test_arrival_times_monotone(self):
+        plans = _plan_clients(StormConfig(clients=30, rate=1000.0))
+        ats = [p.at for p in plans]
+        assert ats == sorted(ats)
+        assert all(at > 0 for at in ats)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ServeError, match="client"):
+            StormConfig(clients=0)
+        with pytest.raises(ServeError, match="tenant"):
+            StormConfig(tenants=())
+        with pytest.raises(ServeError, match="model"):
+            StormConfig(model="bursty")
+        with pytest.raises(ServeError, match="rate"):
+            StormConfig(rate=0)
+        with pytest.raises(ServeError, match="concurrency"):
+            StormConfig(model="closed", concurrency=0)
+        with pytest.raises(ServeError, match="pool"):
+            StormConfig(distinct=0)
+
+
+class TestOpenLoop:
+    def test_accounting_identity_under_pressure(self, fast_runs):
+        config = StormConfig(
+            clients=200, tenants=("acme", "globex"), model="open",
+            rate=5000.0, seed=21, distinct=2, wait_s=10.0,
+        )
+        report = asyncio.run(run_storm(
+            config,
+            serve_config=_serve_config(
+                queue_capacity=4,
+                default_policy=TenantPolicy(
+                    name="default", rate=200.0, burst=20.0, max_active=4
+                ),
+            ),
+        ))
+        report.check()
+        assert report.submitted == 200
+        assert report.accepted + report.rejected + report.errors == 200
+        assert report.rejected > 0  # that rate against that queue must bounce
+        reasons = {
+            reason
+            for tally in report.tenants.values()
+            for reason in tally.rejected
+        }
+        assert reasons <= {
+            "queue-full", "tenant-quota", "rate-limited", "draining",
+            "circuit-open",
+        }
+        # Bounded queue: the high-water mark respects the configured cap.
+        assert report.healthz.get("queue_depth", 0) <= 4
+
+    def test_unhindered_storm_completes_everything(self, fast_runs):
+        config = StormConfig(
+            clients=60, model="open", rate=2000.0, seed=3, distinct=2,
+            wait_s=10.0,
+        )
+        report = asyncio.run(run_storm(
+            config, serve_config=_serve_config(default_policy=GENEROUS),
+        ))
+        report.check()
+        assert report.accepted == 60
+        assert report.rejected == 0
+        for tally in report.tenants.values():
+            assert tally.completed == tally.accepted
+            assert len(tally.latencies_s) == tally.completed
+
+
+class TestClosedLoop:
+    def test_sequential_population_hits_the_cache(self, fast_runs):
+        config = StormConfig(
+            clients=20, tenants=("solo",), model="closed", concurrency=1,
+            seed=5, distinct=1, wait_s=10.0,
+        )
+        report = asyncio.run(run_storm(
+            config, serve_config=_serve_config(default_policy=GENEROUS),
+        ))
+        report.check()
+        tally = report.tenants["solo"]
+        assert tally.completed == 20
+        # One distinct spec, sequential clients: all but the first are
+        # deterministic cache hits.
+        assert tally.cached == 19
+
+    def test_population_bounds_concurrency(self, fast_runs):
+        config = StormConfig(
+            clients=30, model="closed", concurrency=4, seed=9,
+            distinct=2, wait_s=10.0,
+        )
+        report = asyncio.run(run_storm(
+            config, serve_config=_serve_config(default_policy=GENEROUS),
+        ))
+        report.check()
+        assert report.accepted == 30
+        assert report.rejected == 0
+
+
+class TestReportShape:
+    def _report(self, fast_runs):
+        config = StormConfig(
+            clients=30, model="open", rate=2000.0, seed=17, distinct=2,
+            wait_s=10.0,
+        )
+        return asyncio.run(run_storm(
+            config, serve_config=_serve_config(default_policy=GENEROUS),
+        ))
+
+    def test_json_document(self, fast_runs):
+        doc = self._report(fast_runs).to_json()
+        assert doc["submitted"] == 30
+        assert set(doc["tenants"]) == {"acme", "globex"}
+        for tenant_doc in doc["tenants"].values():
+            assert set(tenant_doc["latency_s"]) == {"p50", "p95", "p99"}
+            assert "serve_share" in tenant_doc["overhead"]
+            assert "throughput_per_s" in tenant_doc
+        assert "healthz" in doc
+
+    def test_text_table(self, fast_runs):
+        text = self._report(fast_runs).format()
+        assert "acme" in text and "globex" in text
+        assert "p95 ms" in text
+        assert "submitted=30" in text
+
+    def test_server_side_reports_collected(self, fast_runs):
+        report = self._report(fast_runs)
+        for tenant in ("acme", "globex"):
+            server_doc = report.server_reports[tenant]
+            assert server_doc["tenant"] == tenant
+            assert "overhead" in server_doc
+
+    def test_check_raises_on_broken_accounting(self):
+        report = StormReport(
+            config=StormConfig(clients=2),
+            duration_s=1.0,
+            tenants={"acme": TenantTally(submitted=2, accepted=1)},
+        )
+        with pytest.raises(ServeError, match="accounting broken"):
+            report.check()
+
+
+class TestTargetedStorm:
+    def test_host_without_port_is_an_error(self):
+        with pytest.raises(ServeError, match="port"):
+            asyncio.run(run_storm(StormConfig(clients=1), host="127.0.0.1"))

@@ -309,3 +309,63 @@ class TestRecoverCommand:
         out = capsys.readouterr().out
         assert "jobs=2" in out
         assert "CONVERGED" in out
+
+
+class TestParseTenantPolicies:
+    def test_full_syntax(self):
+        from repro.cli import _parse_tenant_policies
+
+        policies = _parse_tenant_policies(
+            ["acme:rate=20:burst=5:active=4", "globex"]
+        )
+        assert policies["acme"].rate == 20.0
+        assert policies["acme"].burst == 5.0
+        assert policies["acme"].max_active == 4
+        assert policies["globex"].name == "globex"
+
+    def test_unknown_knob_rejected(self):
+        from repro.cli import _parse_tenant_policies
+        from repro.errors import ServeError
+
+        with pytest.raises(ServeError, match="unknown tenant policy knob"):
+            _parse_tenant_policies(["acme:speed=9"])
+
+    def test_bad_value_rejected(self):
+        from repro.cli import _parse_tenant_policies
+        from repro.errors import ServeError
+
+        with pytest.raises(ServeError, match="bad value"):
+            _parse_tenant_policies(["acme:rate=fast"])
+
+
+class TestServeCommand:
+    def test_bad_tenant_policy_exits_2(self, capsys):
+        assert main(["serve", "--tenant", "acme:speed=9"]) == 2
+        assert "unknown tenant policy knob" in capsys.readouterr().err
+
+
+class TestStormCommand:
+    def test_small_selfhosted_storm(self, capsys, tmp_path):
+        out = tmp_path / "reports" / "storm.json"
+        status = main([
+            "storm", "--clients", "40", "--tenants", "acme,globex",
+            "--rate", "2000", "--seed", "7", "--distinct", "1",
+            "--datasize", "0.02", "--slots", "2", "--out", str(out),
+        ])
+        assert status == 0
+        printed = capsys.readouterr().out
+        assert "accounting: 40 submitted" in printed
+        doc = json.loads(out.read_text())
+        assert doc["submitted"] == 40
+        assert doc["submitted"] == (
+            doc["accepted"] + doc["rejected"] + doc["errors"]
+        )
+        assert set(doc["tenants"]) == {"acme", "globex"}
+
+    def test_host_without_port_exits_2(self, capsys):
+        assert main(["storm", "--host", "127.0.0.1"]) == 2
+        assert "--host needs --port" in capsys.readouterr().err
+
+    def test_bad_model_knob_exits_2(self, capsys):
+        assert main(["storm", "--clients", "0"]) == 2
+        assert "client" in capsys.readouterr().err

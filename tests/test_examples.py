@@ -45,6 +45,14 @@ class TestExamples:
         assert "records byte-identical: True" in out
         assert "landscape digest equal: True" in out
 
+    def test_serve_storm(self, capsys):
+        out = run_example("serve_storm.py", capsys)
+        assert "storm: 150 clients, 2 tenant(s)" in out
+        assert "accounting: 150 submitted = " in out
+        assert "server-side per-tenant report" in out
+        assert "verification_ok=True" in out
+        assert "serve share" in out
+
     def test_examples_exist_and_have_docstrings(self):
         scripts = sorted(EXAMPLES.glob("*.py"))
         assert len(scripts) >= 5

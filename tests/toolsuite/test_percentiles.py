@@ -1,0 +1,105 @@
+"""The shared nearest-rank percentile helpers (satellite of PR 6).
+
+One definition feeds three consumers — ``Monitor.latency_percentiles``
+(instance latencies in tu), the serving layer's per-tenant reports
+(session round-trips in wall seconds) and ``sweep_table``'s p95 column —
+so the math is pinned down here once.
+"""
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.toolsuite import LATENCY_POINTS, latency_percentiles, percentile
+from repro.engine.base import InstanceRecord
+from repro.engine.costs import CostBreakdown
+from repro.toolsuite.monitor import Monitor, sweep_table
+from repro.parallel import run_spec, RunSpec
+
+
+class TestPercentile:
+    def test_single_value_is_every_percentile(self):
+        for point in (1, 50, 95, 99, 100):
+            assert percentile([7.0], point) == 7.0
+
+    def test_nearest_rank_is_an_observed_value(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        for point in (1, 33, 50, 77, 95, 100):
+            assert percentile(values, point) in values
+
+    def test_classic_nearest_rank_examples(self):
+        # ceil(n * p / 100)-th smallest, 1-based.
+        values = [15, 20, 35, 40, 50]
+        assert percentile(values, 30) == 20  # ceil(1.5) = 2nd
+        assert percentile(values, 40) == 20  # ceil(2.0) = 2nd
+        assert percentile(values, 50) == 35  # ceil(2.5) = 3rd
+        assert percentile(values, 100) == 50
+
+    def test_order_independent(self):
+        assert percentile([3, 1, 2], 50) == percentile([1, 2, 3], 50)
+
+    def test_empty_is_zero(self):
+        assert percentile([], 95) == 0.0
+
+    def test_point_range_enforced(self):
+        for bad in (0, -1, 101, 150):
+            with pytest.raises(BenchmarkError, match="percentile point"):
+                percentile([1.0], bad)
+
+    def test_p100_is_max_p_small_is_min(self):
+        values = list(range(1, 101))
+        assert percentile(values, 100) == 100
+        assert percentile(values, 1) == 1
+        assert percentile(values, 95) == 95
+
+
+class TestLatencyPercentiles:
+    def test_default_points(self):
+        doc = latency_percentiles([float(v) for v in range(1, 101)])
+        assert doc == {"p50": 50.0, "p95": 95.0, "p99": 99.0}
+        assert tuple(LATENCY_POINTS) == (50, 95, 99)
+
+    def test_empty_values(self):
+        assert latency_percentiles([]) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_custom_points(self):
+        doc = latency_percentiles([1.0, 2.0, 3.0, 4.0], points=(25, 75))
+        assert doc == {"p25": 1.0, "p75": 3.0}
+
+
+def _record(pid, elapsed):
+    return InstanceRecord(
+        instance_id=0, process_id=pid, period=0, stream="A",
+        arrival=0.0, start=0.0, completion=elapsed,
+        costs=CostBreakdown(),
+    )
+
+
+class TestMonitorLatencyPercentiles:
+    def test_scales_by_time_factor(self):
+        monitor = Monitor(time_scale=2.0)
+        monitor.absorb(
+            _record("P01", elapsed) for elapsed in (10.0, 20.0, 30.0)
+        )
+        doc = monitor.latency_percentiles()
+        assert doc["p50"] == 40.0  # 20 tu elapsed * t=2
+        assert doc["p99"] == 60.0
+
+    def test_empty_monitor(self):
+        assert Monitor().latency_percentiles() == {
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_real_run_produces_positive_percentiles(self):
+        outcome = run_spec(RunSpec(datasize=0.02, seed=5))
+        doc = Monitor.merged([outcome]).latency_percentiles()
+        assert 0 < doc["p50"] <= doc["p95"] <= doc["p99"]
+
+
+class TestSweepTableP95:
+    def test_p95_column_present_and_consistent(self):
+        outcome = run_spec(RunSpec(datasize=0.02, seed=11))
+        table = sweep_table([outcome])
+        assert "p95" in table.splitlines()[0]
+        monitor = Monitor.merged([outcome])
+        expected = monitor.latency_percentiles()["p95"]
+        assert f"{expected:>10.2f}" in table.splitlines()[2]
