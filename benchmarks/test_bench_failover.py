@@ -1,0 +1,153 @@
+"""Bench — failover RTO/RPO and replication overhead vs single-host.
+
+Runs the reference configuration (federated, d=0.05, t=1.0, seed 7)
+through three cluster topologies while two crash faults kill primary
+hosts mid-period, and reports what high availability costs: the
+recovery time objective per failover, the RPO exposure per replication
+mode, and the modeled log-shipping transfer cost — all in virtual
+time, against the fault-free single-host baseline the clustered runs
+must (and do) converge to byte-identically.
+
+``BENCH_failover.json`` is a committed artifact holding only
+virtual-time quantities, so it is machine-independent: re-running the
+bench merges rows by configuration key and is idempotent at the same
+seed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.parallel.spec import RunSpec, run_spec
+from repro.resilience import FaultEvent, FaultSpec
+from repro.toolsuite.monitor import Monitor
+
+from benchmarks.conftest import RESULTS_DIR, write_artifact
+
+SEED = 7
+
+CRASHES = FaultSpec(
+    name="double-crash",
+    events=(
+        FaultEvent(at=40.0, kind="crash", point="arrival"),
+        FaultEvent(at=120.0, kind="crash", point="commit"),
+    ),
+)
+
+BASE = dict(
+    engine="federated", datasize=0.05, time=1.0, periods=1, seed=SEED,
+)
+
+#: Configuration key -> cluster topology overrides.
+CONFIGS = {
+    "sync-3x1": dict(
+        cluster_hosts=3, cluster_replicas=1, repl_mode="sync",
+    ),
+    "sync-4x2": dict(
+        cluster_hosts=4, cluster_replicas=2, repl_mode="sync",
+    ),
+    "async-3x1-lag30": dict(
+        cluster_hosts=3, cluster_replicas=1, repl_mode="async",
+        repl_lag=30.0, repl_batch=4,
+    ),
+}
+
+
+def _merge_json(rows: dict, baseline_row: dict) -> None:
+    """Merge by configuration key into the committed artifact."""
+    path = RESULTS_DIR / "BENCH_failover.json"
+    doc: dict = {}
+    if path.exists():
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    doc["seed"] = SEED
+    doc["baseline"] = baseline_row
+    doc.setdefault("configs", {}).update(rows)
+    write_artifact(
+        "BENCH_failover.json",
+        json.dumps(doc, indent=2, sort_keys=True) + "\n",
+    )
+
+
+def test_bench_failover(benchmark):
+    baseline = run_spec(RunSpec(**BASE))
+    assert baseline.ok, baseline.error
+
+    def run_all():
+        return {
+            key: run_spec(RunSpec(
+                **BASE, faults=CRASHES, durability="snapshot+wal",
+                checkpoint_every=200.0, **overrides,
+            ))
+            for key, overrides in CONFIGS.items()
+        }
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows: dict = {}
+    lines = [
+        f"Failover bench: federated d=0.05 t=1.0 seed {SEED}, "
+        f"2 host-killing crashes per clustered run",
+        f"baseline fingerprint {baseline.fingerprint()[:16]} "
+        f"({baseline.result.total_instances} instances)",
+        "",
+    ]
+    for key, outcome in outcomes.items():
+        assert outcome.ok, f"{key}: {outcome.error}"
+        assert outcome.result.verification.ok, key
+        # The availability contract: crashes cost RTO, never identity.
+        assert outcome.fingerprint() == baseline.fingerprint(), (
+            f"{key}: clustered run diverged from the baseline"
+        )
+        reports = outcome.result.failover_reports
+        assert len(reports) == 2, key
+        summary = Monitor.merged([outcome]).failover_summary()
+        stats = outcome.result.replication
+        mode = CONFIGS[key]["repl_mode"]
+        if mode == "sync":
+            assert summary.rpo_records == 0, f"{key}: sync must have RPO=0"
+        rows[key] = {
+            "hosts": CONFIGS[key]["cluster_hosts"],
+            "replicas": CONFIGS[key]["cluster_replicas"],
+            "mode": mode,
+            "failovers": summary.failovers,
+            "rto_tu_mean": round(summary.mean_rto_tu, 6),
+            "rto_tu_max": round(summary.max_rto_tu, 6),
+            "detection_tu_mean": round(summary.mean_detection_tu, 6),
+            "rpo_records": summary.rpo_records,
+            "catchup_records": summary.catchup_records,
+            "rows_restored": summary.rows_restored,
+            "shipped_records": stats.shipped_records,
+            "ship_batches": stats.batches,
+            "transfer_cost_eu": round(stats.transfer_cost_eu, 6),
+            "max_lag_records": stats.max_lag_records,
+            "converged": True,
+        }
+        lines.append(
+            f"{key:>16}: RTO mean {summary.mean_rto_tu:9.2f} tu "
+            f"(max {summary.max_rto_tu:.2f}), detection "
+            f"{summary.mean_detection_tu:.2f} tu, RPO "
+            f"{summary.rpo_records} rec; shipped "
+            f"{stats.shipped_records} rec in {stats.batches} batches "
+            f"({stats.transfer_cost_eu:.2f} eu), peak lag "
+            f"{stats.max_lag_records} rec -> converged"
+        )
+
+    # Replication overhead ordering: more replicas ship more records,
+    # async batches amortize into fewer, costlier-per-batch sends.
+    assert (
+        rows["sync-4x2"]["shipped_records"]
+        > rows["sync-3x1"]["shipped_records"]
+    )
+    assert (
+        rows["async-3x1-lag30"]["ship_batches"]
+        < rows["sync-3x1"]["ship_batches"]
+    )
+
+    baseline_row = {
+        "fingerprint": baseline.fingerprint(),
+        "instances": baseline.result.total_instances,
+        "verification_ok": baseline.result.verification.ok,
+    }
+    _merge_json(rows, baseline_row)
+    print("\n".join(lines))
+    write_artifact("BENCH_failover.txt", "\n".join(lines) + "\n")

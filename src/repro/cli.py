@@ -14,6 +14,8 @@ Usage (also available as ``python -m repro``)::
     python -m repro run --durability snapshot+wal --checkpoint-every 50 \\
         --faults examples/faults_crash.json
     python -m repro recover --engine federated --crash-at 300
+    python -m repro cluster run --hosts 3 --replicas 1 --crashes 2
+    python -m repro cluster topology --hosts 3 --replicas 1
     python -m repro trace --engine interpreter --periods 2 --out trace.json
     python -m repro profile --engine interpreter --periods 2 --out prof.json
     python -m repro serve --port 8321 --tenant acme:rate=20:active=4
@@ -326,6 +328,73 @@ def _build_parser() -> argparse.ArgumentParser:
     faults.add_argument("spec", metavar="SPEC.json",
                         help="fault spec file to check")
 
+    cluster = commands.add_parser(
+        "cluster",
+        help="multi-host cluster: failover runs with measured RTO/RPO, "
+             "and topology inspection",
+    )
+    cluster_cmds = cluster.add_subparsers(dest="cluster_command",
+                                          required=True)
+    crun = cluster_cmds.add_parser(
+        "run",
+        help="run a sharded cluster through primary crashes, fail over "
+             "to log-shipped replicas and verify byte-identical "
+             "convergence against a fault-free single-host run",
+    )
+    crun.add_argument("--engine", choices=sorted(ENGINES),
+                      default="federated")
+    crun.add_argument("--datasize", type=float, default=0.05)
+    crun.add_argument("--time", type=float, default=1.0)
+    crun.add_argument("--periods", type=int, default=1)
+    crun.add_argument("--seed", type=int, default=42)
+    crun.add_argument("--workers", type=int, default=4)
+    crun.add_argument("--hosts", type=int, default=3,
+                      help="virtual cluster hosts (default 3)")
+    crun.add_argument("--replicas", type=int, default=1,
+                      help="follower replicas per database (default 1)")
+    crun.add_argument("--mode", choices=("sync", "async"), default="sync",
+                      help="log-shipping mode (default sync; RPO=0)")
+    crun.add_argument("--repl-lag", type=float, default=0.0, metavar="TU",
+                      help="async replication lag window in tu (default 0)")
+    crun.add_argument("--repl-batch", type=int, default=1,
+                      help="async shipping batch size in records "
+                           "(default 1)")
+    crun.add_argument("--durability", choices=DURABILITY_MODES,
+                      default="snapshot+wal")
+    crun.add_argument("--checkpoint-every", type=float, default=200.0,
+                      metavar="TU",
+                      help="checkpoint cadence in tu (default 200)")
+    crun.add_argument("--crashes", type=int, default=2,
+                      help="primary crashes to schedule in period 0 "
+                           "(default 2)")
+    crun.add_argument("--crash-at", type=float, default=40.0, metavar="T",
+                      help="time of the first crash in tu (default 40)")
+    crun.add_argument("--crash-spacing", type=float, default=80.0,
+                      metavar="TU",
+                      help="tu between scheduled crashes (default 80)")
+    crun.add_argument("--faults", metavar="SPEC.json",
+                      help="use this fault spec instead of the "
+                           "synthesized crash series")
+    crun.add_argument("--metrics-out", metavar="FILE.prom",
+                      help="write the cluster run's metrics registry as "
+                           "Prometheus text")
+    crun.add_argument("--out", metavar="FILE.json",
+                      help="write the failover summary (RTO/RPO, "
+                           "replication stats, fingerprints) as JSON")
+    crun.add_argument("--jobs", type=int, default=1,
+                      help="run baseline and cluster run in parallel "
+                           "worker processes (default 1 = serial)")
+    ctopo = cluster_cmds.add_parser(
+        "topology",
+        help="print the consistent-hash ring placement and shard map "
+             "of the initialized landscape",
+    )
+    ctopo.add_argument("--hosts", type=int, default=3)
+    ctopo.add_argument("--replicas", type=int, default=1)
+    ctopo.add_argument("--seed", type=int, default=42)
+    ctopo.add_argument("--vnodes", type=int, default=8)
+    ctopo.add_argument("--datasize", type=float, default=0.05)
+
     commands.add_parser("processes", help="list the benchmark process types")
     commands.add_parser(
         "validate", help="statically validate all process definitions"
@@ -570,6 +639,190 @@ def _cmd_recover(args: argparse.Namespace) -> int:
               "byte-identically")
         return 0
     print("DIVERGED: recovery did not reproduce the fault-free run")
+    return 1
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    if args.cluster_command == "topology":
+        return _cmd_cluster_topology(args)
+    return _cmd_cluster_run(args)
+
+
+def _cmd_cluster_topology(args: argparse.Namespace) -> int:
+    """Print ring placement and shard map of an initialized landscape."""
+    from repro.cluster import ClusterConfig, HashRing, ShardMap
+    from repro.toolsuite.initializer import Initializer
+
+    try:
+        config = ClusterConfig(hosts=args.hosts, replicas=args.replicas,
+                               vnodes=args.vnodes)
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    scenario = build_scenario(seed=args.seed)
+    Initializer(scenario, d=args.datasize, seed=args.seed).initialize_sources(0)
+    ring = HashRing(config.host_names, seed=args.seed, vnodes=args.vnodes)
+    shard_map = ShardMap.build(scenario.all_databases.values(), ring)
+    print(f"cluster topology: {args.hosts} host(s) x {args.replicas} "
+          f"replica(s), {args.vnodes} vnode(s)/host, seed {args.seed}")
+    for name in sorted(scenario.all_databases):
+        placement = ring.preference(name, 1 + args.replicas)
+        print(f"  {name}: primary {placement[0]}, "
+              f"followers {', '.join(placement[1:]) or 'none'}")
+    print(shard_map.describe())
+    return 0
+
+
+def _cmd_cluster_run(args: argparse.Namespace) -> int:
+    """Crash primaries, fail over, then prove byte-identical convergence.
+
+    Two runs at the same seed and scale: a fault-free single-host
+    baseline and a clustered run that loses ``--crashes`` primary hosts
+    to crash faults and fails over to the log-shipped replicas each
+    time.  Convergence is byte-identity of the landscape digest, every
+    per-instance record, and the full run fingerprint; the cluster run
+    additionally reports RTO per failover and asserts RPO=0 under
+    synchronous shipping.
+    """
+    if args.faults:
+        try:
+            faults = FaultSpec.load(args.faults)
+        except (OSError, FaultSpecError) as exc:
+            print(f"error: cannot load fault spec {args.faults}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        if args.crashes < 1:
+            print("error: --crashes must be >= 1", file=sys.stderr)
+            return 2
+        points = ("arrival", "commit")
+        faults = FaultSpec(
+            name="cluster-cli",
+            seed=args.seed,
+            events=tuple(
+                FaultEvent(
+                    at=args.crash_at + index * args.crash_spacing,
+                    kind="crash",
+                    point=points[index % 2],
+                    period=0,
+                )
+                for index in range(args.crashes)
+            ),
+        )
+
+    baseline_spec = RunSpec(
+        engine=args.engine,
+        datasize=args.datasize,
+        time=args.time,
+        periods=args.periods,
+        seed=args.seed,
+        engine_workers=args.workers,
+    )
+    cluster_spec = RunSpec(
+        engine=args.engine,
+        datasize=args.datasize,
+        time=args.time,
+        periods=args.periods,
+        seed=args.seed,
+        engine_workers=args.workers,
+        faults=faults,
+        durability=args.durability,
+        checkpoint_every=args.checkpoint_every,
+        cluster_hosts=args.hosts,
+        cluster_replicas=args.replicas,
+        repl_mode=args.mode,
+        repl_lag=args.repl_lag,
+        repl_batch=args.repl_batch,
+        collect_metrics=bool(args.metrics_out),
+    )
+    print(f"baseline: engine={args.engine} seed={args.seed} "
+          f"d={args.datasize} t={args.time} periods={args.periods} "
+          f"(single host, fault-free)")
+    print(f"cluster run: hosts={args.hosts} replicas={args.replicas} "
+          f"mode={args.mode} repl_lag={args.repl_lag} "
+          f"crashes={len([e for e in faults.events if e.kind == 'crash'])} "
+          f"durability={args.durability} jobs={args.jobs}")
+    sweep = SweepExecutor(workers=args.jobs).run(
+        [baseline_spec, cluster_spec]
+    )
+    base_outcome, cluster_outcome = sweep.outcomes
+    for outcome in sweep.outcomes:
+        if outcome.result is None:
+            print(f"error: {outcome.label} did not complete: "
+                  f"[{outcome.error_type}] {outcome.error}",
+                  file=sys.stderr)
+            return 2
+    base = base_outcome.result
+    clustered = cluster_outcome.result
+    print(f"  baseline: instances={base.total_instances} "
+          f"verification={'ok' if base.verification.ok else 'FAILED'}")
+    print(f"  cluster run: instances={clustered.total_instances} "
+          f"failovers={clustered.failovers} "
+          f"verification={'ok' if clustered.verification.ok else 'FAILED'}")
+    for report in clustered.failover_reports:
+        print(f"  {report.describe()}")
+    if clustered.replication is not None:
+        print(f"  {clustered.replication.describe()}")
+    if args.metrics_out and cluster_outcome.metrics_shard is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(export_prometheus(cluster_outcome.metrics_shard))
+        print(f"  metrics written to {args.metrics_out}")
+
+    records_equal = clustered.records == base.records
+    digests_equal = (
+        cluster_outcome.landscape_digest == base_outcome.landscape_digest
+    )
+    fingerprints_equal = (
+        cluster_outcome.fingerprint() == base_outcome.fingerprint()
+    )
+    rpo_total = sum(r.rpo_records for r in clustered.failover_reports)
+    rtos = [r.rto_eu for r in clustered.failover_reports
+            if r.rto_eu is not None]
+    print(f"records byte-identical: {'yes' if records_equal else 'NO'}")
+    print(f"landscape digest equal: {'yes' if digests_equal else 'NO'}")
+    print(f"fingerprints equal: {'yes' if fingerprints_equal else 'NO'}")
+    print(f"RPO total: {rpo_total} record(s); "
+          f"RTO: {', '.join(f'{r * args.time:.2f}tu' for r in rtos) or 'n/a'}")
+    if args.out:
+        write_json_atomic(args.out, {
+            "hosts": args.hosts,
+            "replicas": args.replicas,
+            "mode": args.mode,
+            "repl_lag": args.repl_lag,
+            "failovers": [
+                {
+                    "dead_host": r.dead_host,
+                    "crash_at": r.crash_at,
+                    "detection_eu": r.detection_eu,
+                    "promoted": len(r.promoted),
+                    "rpo_records": r.rpo_records,
+                    "rto_tu": (r.rto_eu * args.time
+                               if r.rto_eu is not None else None),
+                }
+                for r in clustered.failover_reports
+            ],
+            "rpo_total": rpo_total,
+            "records_equal": records_equal,
+            "digests_equal": digests_equal,
+            "fingerprints_equal": fingerprints_equal,
+            "baseline_fingerprint": base_outcome.fingerprint(),
+            "cluster_fingerprint": cluster_outcome.fingerprint(),
+        })
+        print(f"  summary written to {args.out}")
+    if clustered.failovers == 0:
+        print("DIVERGED: the fault schedule produced no failover "
+              "(crash time outside the period?)")
+        return 1
+    if args.mode == "sync" and rpo_total != 0:
+        print(f"DIVERGED: synchronous shipping must have RPO=0, "
+              f"measured {rpo_total}")
+        return 1
+    if (records_equal and digests_equal and fingerprints_equal
+            and clustered.verification.ok):
+        print("CONVERGED: cluster failover reproduced the fault-free "
+              "single-host run byte-identically")
+        return 0
+    print("DIVERGED: failover did not reproduce the fault-free run")
     return 1
 
 
@@ -1000,6 +1253,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "recover": _cmd_recover,
+        "cluster": _cmd_cluster,
         "trace": _cmd_trace,
         "profile": _cmd_profile,
         "serve": _cmd_serve,

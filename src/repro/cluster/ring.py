@@ -1,0 +1,166 @@
+"""Consistent-hash placement of the landscape over virtual hosts.
+
+The cluster layer spreads the scenario databases (and the shards of
+their large tables) over ``N`` virtual hosts with a classic
+consistent-hash ring: every host contributes ``vnodes`` points on the
+ring, a key lands on the first point clockwise from its own hash, and a
+key's replica set is the next ``K`` *distinct* hosts clockwise.  Ring
+positions are derived from ``sha256(f"{seed}:{host}#{vnode}")``, so
+placement is a pure function of the run seed — two runs with the same
+seed shard identically, which is what the determinism contract needs.
+
+Placement is an overlay: the paper's three-machine data plane (hosts
+ES/IS/CS, Table I) keeps routing every service call exactly as before,
+so sharding can never perturb the measured communication costs.  The
+ring decides *durability* placement — which virtual host owns a
+database's primary WAL and where its follower replicas live — and that
+is the layer failover reasons about.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import ClusterError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.database import Database
+
+#: Tables at or above this row count are split into multiple shards.
+LARGE_TABLE_ROWS = 200
+#: Shards per large table (each shard is one ring key).
+SHARDS_PER_LARGE_TABLE = 4
+
+
+def _ring_hash(token: str) -> int:
+    """Stable 64-bit ring position of one token."""
+    return int.from_bytes(
+        hashlib.sha256(token.encode()).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """A consistent-hash ring over named virtual hosts."""
+
+    def __init__(self, hosts: Sequence[str], seed: int, vnodes: int = 8):
+        if not hosts:
+            raise ClusterError("ring needs at least one host")
+        if len(set(hosts)) != len(hosts):
+            raise ClusterError(f"duplicate hosts in ring: {sorted(hosts)}")
+        if vnodes < 1:
+            raise ClusterError(f"vnodes must be >= 1, got {vnodes}")
+        self.hosts = list(hosts)
+        self.seed = seed
+        self.vnodes = vnodes
+        points: list[tuple[int, str]] = []
+        for host in hosts:
+            for vnode in range(vnodes):
+                points.append((_ring_hash(f"{seed}:{host}#{vnode}"), host))
+        points.sort()
+        self._points = points
+        self._positions = [position for position, _ in points]
+
+    def host_for(self, key: str) -> str:
+        """The primary host of ``key`` (first point clockwise)."""
+        return self.preference(key, 1)[0]
+
+    def preference(
+        self, key: str, count: int, alive: Iterable[str] | None = None
+    ) -> list[str]:
+        """The first ``count`` distinct hosts clockwise from ``key``.
+
+        With ``alive`` given, dead hosts are skipped — the walk order is
+        unchanged, so survivors keep their relative preference (the
+        standard consistent-hashing failover property: keys of a dead
+        host redistribute to its ring successors, nobody else moves).
+        """
+        allowed = set(alive) if alive is not None else None
+        if allowed is not None and not allowed:
+            raise ClusterError(f"no live host to place {key!r}")
+        start = bisect.bisect_right(self._positions, _ring_hash(key))
+        chosen: list[str] = []
+        for offset in range(len(self._points)):
+            _, host = self._points[(start + offset) % len(self._points)]
+            if host in chosen:
+                continue
+            if allowed is not None and host not in allowed:
+                continue
+            chosen.append(host)
+            if len(chosen) >= count:
+                break
+        if not chosen:
+            raise ClusterError(f"no live host to place {key!r}")
+        return chosen
+
+
+class ShardMap:
+    """Consistent-hash shard placement of the landscape's tables.
+
+    Small tables are one shard; tables with at least
+    :data:`LARGE_TABLE_ROWS` rows at placement time are split into
+    :data:`SHARDS_PER_LARGE_TABLE` shards, each placed independently on
+    the ring (key ``"db.table#s"``).  The map is placement *metadata*
+    for the durability overlay — the relational engine keeps executing
+    exactly as before — but it is what the ``repro cluster topology``
+    command and the balance tests reason about.
+    """
+
+    def __init__(self, ring: HashRing):
+        self.ring = ring
+        #: ``(db, table) -> [shard primary host, ...]`` in shard order.
+        self.shards: dict[tuple[str, str], list[str]] = {}
+        #: ``db -> primary host`` for the database's WAL/replica unit.
+        self.database_home: dict[str, str] = {}
+
+    @classmethod
+    def build(
+        cls,
+        databases: "Iterable[Database]",
+        ring: HashRing,
+        large_rows: int = LARGE_TABLE_ROWS,
+        shards_per_large: int = SHARDS_PER_LARGE_TABLE,
+    ) -> "ShardMap":
+        shard_map = cls(ring)
+        for db in databases:
+            shard_map.database_home[db.name] = ring.host_for(db.name)
+            for table_name in db.table_names:
+                rows = len(db.table(table_name))
+                count = shards_per_large if rows >= large_rows else 1
+                shard_map.shards[(db.name, table_name)] = [
+                    ring.host_for(f"{db.name}.{table_name}#{index}")
+                    for index in range(count)
+                ]
+        return shard_map
+
+    def shard_count(self) -> int:
+        return sum(len(hosts) for hosts in self.shards.values())
+
+    def shards_on(self, host: str) -> int:
+        return sum(
+            1
+            for hosts in self.shards.values()
+            for shard_host in hosts
+            if shard_host == host
+        )
+
+    def balance(self) -> dict[str, int]:
+        """``host -> shard count`` over every host in the ring."""
+        return {host: self.shards_on(host) for host in self.ring.hosts}
+
+    def describe(self) -> str:
+        lines = [
+            f"shard map: {self.shard_count()} shard(s) over "
+            f"{len(self.ring.hosts)} host(s), "
+            f"{self.ring.vnodes} vnode(s)/host, seed {self.ring.seed}"
+        ]
+        for host, count in sorted(self.balance().items()):
+            lines.append(f"  {host}: {count} shard(s)")
+        for (db, table), hosts in sorted(self.shards.items()):
+            if len(hosts) > 1:
+                lines.append(
+                    f"  {db}.{table}: {len(hosts)} shards -> "
+                    + ", ".join(hosts)
+                )
+        return "\n".join(lines)

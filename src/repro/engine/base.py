@@ -353,6 +353,12 @@ class IntegrationEngine:
         (the federated engine's catalog; empty for stateless engines)."""
         return []
 
+    def note_catalog_reroute(self, routes: "dict[str, str]") -> None:
+        """Cluster hook: the failover protocol repointed database routes
+        (``db name -> new primary host``).  Routing metadata is volatile
+        engine state — stateless engines ignore it; the federated engine
+        records it in its catalog view."""
+
     def runtime_state(self) -> dict:
         """Volatile scheduling state, captured at each durable commit.
 
@@ -425,7 +431,8 @@ class IntegrationEngine:
                     self.crash()
                     raise EngineCrashed(
                         f"{self.engine_name} crashed before admitting "
-                        f"{event.process_id}"
+                        f"{event.process_id}",
+                        at=attempt_time,
                     )
             # An armed commit-point crash is consumed *before* execution:
             # the instance runs, then dies with its effects uncommitted.
@@ -457,6 +464,7 @@ class IntegrationEngine:
                         f"{self.engine_name} lost an in-flight "
                         f"{event.process_id} instance at commit",
                         pristine_message=pristine,
+                        at=attempt_time,
                     )
                 if (
                     res is not None

@@ -66,6 +66,9 @@ class FederatedEngine(IntegrationEngine):
         )
         #: The engine's own catalog: queue tables, triggers, procedures.
         self.internal_db = Database("federation_catalog")
+        #: Volatile routing metadata: ``db name -> current primary host``
+        #: (written by the cluster layer's failover rerouting).
+        self.catalog_routes: dict[str, str] = {}
         self.trace = trace
         self.traces: list[tuple[str, list[str]]] = []
         self._next_tid = 1
@@ -230,6 +233,16 @@ class FederatedEngine(IntegrationEngine):
         super().restore_runtime_state(state)
         self._next_tid = state.get("next_tid", 1)
 
+    def note_catalog_reroute(self, routes: dict[str, str]) -> None:
+        """Cluster failover repointed the federation's database routes.
+
+        The routes live beside the catalog as volatile metadata — never
+        as catalog *rows*, which would perturb the replicated queue
+        tables' digests.  ``catalog_routes`` is what the wrappers would
+        consult to reach each database's current primary.
+        """
+        self.catalog_routes = dict(routes)
+
     def crash(self) -> None:
         """A crash also loses the in-memory federation catalog.
 
@@ -239,6 +252,7 @@ class FederatedEngine(IntegrationEngine):
         recovery restores the committed queue rows.
         """
         self.internal_db = Database("federation_catalog")
+        self.catalog_routes = {}
         self._next_tid = 1
         self._active_context = None
         self._active_process = None

@@ -136,12 +136,20 @@ class EngineCrashed(ReproError):
     the benchmark client, which performs durable recovery and resumes
     the schedule.  ``pristine_message`` carries an unexecuted copy of
     the in-flight inbound message (commit-point crashes only) so the
-    re-dispatched instance sees exactly the original input.
+    re-dispatched instance sees exactly the original input.  ``at`` is
+    the virtual time (engine units) the crash struck — the zero point of
+    a cluster failover's RTO clock.
     """
 
-    def __init__(self, message: str, pristine_message=None):
+    def __init__(self, message: str, pristine_message=None, at: float = 0.0):
         super().__init__(message)
         self.pristine_message = pristine_message
+        self.at = at
+
+
+class ClusterError(StorageError):
+    """The multi-host cluster layer hit an inconsistent state
+    (replication hole, no electable follower, bad configuration)."""
 
 
 # ------------------------------------------------------------------------- mtm

@@ -60,6 +60,14 @@ class RunSpec:
     max_attempts: int = 4
     durability: str = "off"
     checkpoint_every: float | None = None
+    #: Cluster overlay: 0 hosts = single-host classic run; >= 2 builds a
+    #: consistent-hash cluster with ``cluster_replicas`` log-shipped
+    #: followers per database (``repl_lag`` in tu, async mode only).
+    cluster_hosts: int = 0
+    cluster_replicas: int = 1
+    repl_mode: str = "sync"
+    repl_lag: float = 0.0
+    repl_batch: int = 1
     verify: bool = True
     collect_metrics: bool = False
     collect_trace: bool = False

@@ -191,3 +191,11 @@ class CircuitBreakerBoard:
         for breaker in self._breakers.values():
             out[breaker.state] = out.get(breaker.state, 0) + 1
         return out
+
+    def states(self) -> dict[str, str]:
+        """``service -> current state`` for every instantiated breaker,
+        in service-name order (the per-endpoint health view)."""
+        return {
+            service: self._breakers[service].state
+            for service in sorted(self._breakers)
+        }

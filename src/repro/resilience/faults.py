@@ -43,6 +43,7 @@ without it the event recurs in every period.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -69,6 +70,33 @@ _RECOVERY_OF = {
     "degrade": "restore_link",
     "outage": "restore",
 }
+
+#: The fault each recovery kind closes (inverse of :data:`_RECOVERY_OF`).
+_FAULT_OF = {recovery: fault for fault, recovery in _RECOVERY_OF.items()}
+
+
+@dataclass(frozen=True)
+class _FaultWindow:
+    """One active-fault interval on a period timeline.
+
+    ``end`` is the implied recovery time (``at + duration``), the time
+    of the first matching explicit recovery event, or ``inf`` for a
+    fault the spec never recovers (active to period end).
+    """
+
+    event: FaultEvent
+    kind: str
+    target: tuple
+    start: float
+    end: float
+
+    def overlaps(self, other: "_FaultWindow") -> bool:
+        # Strict overlap: a fault starting exactly at another's recovery
+        # time is sequential, not simultaneous.
+        return self.start < other.end and other.start < self.end
+
+    def contains(self, at: float) -> bool:
+        return self.start <= at < self.end
 
 
 @dataclass(frozen=True)
@@ -247,6 +275,121 @@ class FaultSpec:
                     problems.append(
                         f"{where}: unknown process {event.process!r}"
                     )
+        problems.extend(self.timeline_problems())
+        return problems
+
+    # -- timeline consistency -----------------------------------------------------
+
+    @staticmethod
+    def _window_target(event: FaultEvent) -> tuple:
+        if event.kind in _LINK_KINDS:
+            return tuple(sorted((event.src, event.dst)))
+        return (event.service,)
+
+    def _windows(self, period: int | None) -> list[_FaultWindow]:
+        """The active-fault intervals of one period scope.
+
+        A window opens at a ``partition``/``degrade``/``outage`` event
+        and closes at ``at + duration``, at the first later explicit
+        recovery event for the same target, or never (``inf``).
+        """
+        events = sorted(
+            (
+                event
+                for event in self.events
+                if event.period is None or event.period == period
+            ),
+            key=lambda e: e.at,
+        )
+        windows: list[_FaultWindow] = []
+        for index, event in enumerate(events):
+            if event.kind not in _RECOVERY_OF:
+                continue
+            target = self._window_target(event)
+            if event.duration is not None:
+                end = event.at + event.duration
+            else:
+                end = math.inf
+                for later in events[index + 1:]:
+                    if (
+                        _FAULT_OF.get(later.kind) == event.kind
+                        and self._window_target(later) == target
+                        and later.at >= event.at
+                    ):
+                        end = later.at
+                        break
+            windows.append(
+                _FaultWindow(event, event.kind, target, event.at, end)
+            )
+        return windows
+
+    def timeline_problems(self, engine_host: str = "IS") -> list[str]:
+        """Overlapping or contradictory faults on the period timeline.
+
+        Three rules, each error naming both offending events:
+
+        * two same-kind faults on the same endpoint must not overlap
+          (e.g. a second ``outage`` of a service already down);
+        * a ``degrade`` of a severed link is contradictory — a
+          partitioned link has no transfer cost to multiply;
+        * a ``crash`` inside an active ``partition`` window involving
+          the engine host is contradictory — the failure detector's
+          heartbeats could not have reached the dead host anyway.
+        """
+        problems: list[str] = []
+        scopes = sorted(
+            {event.period for event in self.events if event.period is not None}
+        ) or [None]
+        seen: set[tuple] = set()
+        for scope in scopes:
+            windows = self._windows(scope)
+            for i, a in enumerate(windows):
+                for b in windows[i + 1:]:
+                    if a.target != b.target or not a.overlaps(b):
+                        continue
+                    kinds = {a.kind, b.kind}
+                    if a.kind == b.kind:
+                        reason = (
+                            f"overlapping {a.kind} faults on the same "
+                            f"endpoint"
+                        )
+                    elif kinds == {"partition", "degrade"}:
+                        reason = (
+                            "contradictory faults: cannot degrade a "
+                            "partitioned link"
+                        )
+                    else:
+                        continue
+                    key = (reason, a.event, b.event)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    problems.append(
+                        f"{reason}: [{a.event.describe().strip()}] "
+                        f"conflicts with [{b.event.describe().strip()}]"
+                    )
+            for event in self.events:
+                if event.kind not in _CRASH_KINDS:
+                    continue
+                if event.period is not None and event.period != scope:
+                    continue
+                for window in windows:
+                    if (
+                        window.kind == "partition"
+                        and engine_host in window.target
+                        and window.contains(event.at)
+                    ):
+                        key = ("crash-in-partition", event, window.event)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        problems.append(
+                            f"contradictory faults: crash during an "
+                            f"active partition of the engine host "
+                            f"{engine_host!r}: "
+                            f"[{event.describe().strip()}] conflicts "
+                            f"with [{window.event.describe().strip()}]"
+                        )
         return problems
 
     @property

@@ -63,6 +63,10 @@ SERVING = "serving"
 DRAINING = "draining"
 STOPPED = "stopped"
 
+#: Breaker state as an exportable scalar (Prometheus gauges can't carry
+#: strings): closed < half-open < open, so alerting thresholds compose.
+BREAKER_STATE_VALUES = {"closed": 0.0, "half-open": 1.0, "open": 2.0}
+
 
 @dataclass
 class ServeConfig:
@@ -142,6 +146,16 @@ class SessionManager:
         self.rejections: dict[str, dict[str, int]] = {}
         #: completed-session wall latencies per tenant (for percentiles).
         self._latencies: dict[str, list[float]] = {}
+        #: aggregate cluster replication/failover view across executed
+        #: sessions (cache hits re-serve recorded runs, so they don't
+        #: re-count shipped records).
+        self.replication = {
+            "sessions": 0,
+            "shipped_records": 0,
+            "max_lag_records": 0,
+            "failovers": 0,
+            "rpo_records": 0,
+        }
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -303,6 +317,8 @@ class SessionManager:
             if self.config.cache and outcome.ok:
                 self._cache[cache_key] = outcome
         session.finish(outcome)
+        if not session.cached:
+            self._book_cluster(session)
         self.breakers.now = self.clock()
         if outcome.ok:
             self.breakers.record_success(session.tenant)
@@ -337,6 +353,59 @@ class SessionManager:
             )
         )
         self._book_metrics(session)
+
+    def _book_cluster(self, session: Session) -> None:
+        """Fold one *executed* session's cluster telemetry into the serve
+        view (cache hits skip this: they re-serve a recorded run, and
+        counting its shipped records twice would lie).
+
+        Single-host sessions carry neither replication stats nor
+        failover reports and leave every gauge untouched.
+        """
+        outcome = session.outcome
+        if outcome is None or outcome.result is None:
+            return
+        repl = outcome.result.replication
+        reports = outcome.result.failover_reports
+        if repl is None and not reports:
+            return
+        agg = self.replication
+        agg["sessions"] += 1
+        if repl is not None:
+            agg["shipped_records"] += repl.shipped_records
+            agg["max_lag_records"] = max(
+                agg["max_lag_records"], repl.max_lag_records
+            )
+        agg["failovers"] += len(reports)
+        agg["rpo_records"] += sum(r.rpo_records for r in reports)
+        if not self.metrics.enabled:
+            return
+        labels = {"tenant": session.tenant}
+        if repl is not None:
+            self.metrics.gauge(
+                "cluster_replica_lag_records",
+                help="Worst follower lag observed in any clustered "
+                     "session (WAL records behind the primary)",
+                labels=labels,
+            ).set_max(float(repl.max_lag_records))
+            self.metrics.counter(
+                "cluster_shipped_records_total",
+                help="WAL records log-shipped to follower replicas "
+                     "inside served sessions",
+                labels=labels,
+            ).inc(float(repl.shipped_records))
+        if reports:
+            self.metrics.counter(
+                "serve_failovers_total",
+                help="Primary failovers absorbed inside served sessions",
+                labels=labels,
+            ).inc(float(len(reports)))
+            self.metrics.counter(
+                "serve_rpo_records_total",
+                help="Unreplicated-at-election WAL records across served "
+                     "failovers (0 under sync shipping)",
+                labels=labels,
+            ).inc(float(sum(r.rpo_records for r in reports)))
 
     def _book_metrics(self, session: Session) -> None:
         latency = session.serve_overhead_s + session.engine_wall_s
@@ -380,6 +449,16 @@ class SessionManager:
                 help="Summed NAVG+ (tu) served to each tenant",
                 labels=labels,
             ).inc(session.outcome.navg_plus_total())
+        self.metrics.gauge(
+            "serve_breaker_state",
+            help="Tenant circuit-breaker state "
+                 "(0 closed, 1 half-open, 2 open)",
+            labels=labels,
+        ).set(BREAKER_STATE_VALUES[self.breakers.breaker(session.tenant).state])
+        self.metrics.gauge(
+            "serve_dead_letters_depth",
+            help="Failed sessions parked in the dead-letter queue",
+        ).set(float(len(self.dead_letters)))
 
     # -- reporting -----------------------------------------------------------------
 
@@ -409,7 +488,10 @@ class SessionManager:
             "cache_entries": len(self._cache),
             "cache_hits": self.cache_hits,
             "dead_letters": len(self.dead_letters),
+            "dead_letters_by_class": self.dead_letters.by_error_type(),
             "breakers": self.breakers.state_counts(),
+            "breaker_states": self.breakers.states(),
+            "replication": dict(self.replication),
         }
 
     def tenant_report(self, tenant: str) -> dict:

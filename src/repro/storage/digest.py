@@ -18,8 +18,14 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.db.database import Database
 
 
-def database_digest(db: "Database") -> str:
-    """Hex digest of one database's full logical content."""
+def database_digest(db: "Database", include_views: bool = True) -> str:
+    """Hex digest of one database's full logical content.
+
+    ``include_views=False`` digests table content only — the comparison
+    basis between a primary and its table-only cluster replicas (view
+    content is a pure function of the tables and replicas don't hold
+    view objects).
+    """
     hasher = hashlib.sha256()
     hasher.update(db.name.encode())
     for table_name in db.table_names:
@@ -28,6 +34,8 @@ def database_digest(db: "Database") -> str:
         for row in table.dump_rows():
             hasher.update(repr(sorted(row.items())).encode())
             hasher.update(b"\x01")
+    if not include_views:
+        return hasher.hexdigest()
     for view_name in db.view_names:
         view = db.materialized_view(view_name)
         hasher.update(f"\x00v:{view_name}:{int(view.is_populated)}\x00".encode())

@@ -90,6 +90,10 @@ class StorageManager:
         )
         self.databases: dict[str, "Database"] = {}
         self.wals: dict[str, WriteAheadLog] = {}
+        #: Optional cluster replication hook (a ClusterManager): told
+        #: about every sealed group commit, and asked to flush every
+        #: follower before a checkpoint truncates the WAL tails.
+        self.replication = None
         self.checkpoint_state: Checkpoint | None = None
         self.commits: list[EngineCommit] = []
         self.period = -1
@@ -162,6 +166,8 @@ class StorageManager:
         """Start a period: baseline checkpoint over the freshly
         initialized landscape, empty WALs, recording on."""
         self.period = period
+        if self.replication is not None:
+            self.replication.before_truncate()
         for wal in self.wals.values():
             wal.discard_open()
             wal.truncate()
@@ -193,6 +199,8 @@ class StorageManager:
             engine_records=list(engine.records),
             engine_runtime=engine.runtime_state(),
         )
+        if self.replication is not None:
+            self.replication.before_truncate()
         for wal in self.wals.values():
             wal.truncate()
         self.commits.clear()
@@ -232,6 +240,8 @@ class StorageManager:
         )
         self.commit_count += 1
         at = record.completion
+        if self.replication is not None:
+            self.replication.on_commit(commit_id, at)
         if self._flush_window_end is None or at >= self._flush_window_end:
             self.flushes += 1
             self._flush_window_end = at + self.group_commit_window

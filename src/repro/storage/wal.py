@@ -99,6 +99,35 @@ class WriteAheadLog:
         """The redo tail, in LSN order."""
         return list(self._records)
 
+    @property
+    def last_lsn(self) -> int:
+        """The highest LSN ever sealed (0 = nothing committed yet)."""
+        return self._next_lsn - 1
+
+    @property
+    def oldest_available_lsn(self) -> int:
+        """The lowest LSN still in the tail (``last_lsn + 1`` if empty).
+
+        Records below this were dropped by checkpoint truncation; a
+        log-shipping follower lagging past it has a replication hole and
+        must be re-seeded from the checkpoint.
+        """
+        return self._records[0].lsn if self._records else self._next_lsn
+
+    def records_since(self, lsn: int) -> list[WalRecord]:
+        """Committed records with LSN strictly above ``lsn``, in order.
+
+        Raises :class:`WalError` when ``lsn`` predates the retained tail
+        — those records were truncated and can no longer be shipped.
+        """
+        if lsn + 1 < self.oldest_available_lsn:
+            raise WalError(
+                f"wal[{self.db_name}]: records after LSN {lsn} requested "
+                f"but the tail starts at LSN {self.oldest_available_lsn} "
+                f"(truncated by a checkpoint)"
+            )
+        return [record for record in self._records if record.lsn > lsn]
+
     def truncate(self) -> int:
         """Checkpoint truncation: drop the committed tail.
 

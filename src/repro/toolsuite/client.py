@@ -23,9 +23,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
+from repro.cluster import (
+    ClusterConfig,
+    ClusterManager,
+    FailoverReport,
+    ReplicationStats,
+)
 from repro.db import fastpath
 from repro.engine.base import InstanceRecord, IntegrationEngine, ProcessEvent
-from repro.errors import BenchmarkError, EngineCrashed, FaultSpecError
+from repro.errors import BenchmarkError, ClusterError, EngineCrashed, FaultSpecError
 from repro.metrics.navg import MetricReport
 from repro.observability import Observability, Span
 from repro.mtm.message import Message
@@ -76,6 +82,10 @@ class BenchmarkResult:
     dead_letters: list[DeadLetter] = field(default_factory=list)
     #: One report per crash recovery performed during the run.
     recovery_reports: list[RecoveryReport] = field(default_factory=list)
+    #: One report per cluster failover (empty off-cluster runs).
+    failover_reports: list[FailoverReport] = field(default_factory=list)
+    #: Log-shipping statistics when the run was clustered.
+    replication: ReplicationStats | None = None
 
     @property
     def total_instances(self) -> int:
@@ -103,6 +113,11 @@ class BenchmarkResult:
         """Crash recoveries performed during the run."""
         return len(self.recovery_reports)
 
+    @property
+    def failovers(self) -> int:
+        """Cluster failovers performed during the run."""
+        return len(self.failover_reports)
+
 
 class BenchmarkClient:
     """Drives one engine through the DIPBench schedule."""
@@ -120,6 +135,7 @@ class BenchmarkClient:
         resilience: RetryPolicy | None = None,
         durability: str = "off",
         checkpoint_every: float | None = None,
+        cluster: ClusterConfig | None = None,
     ):
         if periods < 1 or periods > 100:
             raise BenchmarkError(f"periods must be in [1, 100]: {periods}")
@@ -218,6 +234,25 @@ class BenchmarkClient:
                 "off; crash recovery needs --durability wal or "
                 "snapshot+wal"
             )
+        #: The multi-host overlay: consistent-hash placement, WAL
+        #: log-shipping replicas and crash failover.  Requires the
+        #: durability layer — replication ships its WALs.
+        self.cluster: ClusterManager | None = None
+        if cluster is not None:
+            if self.storage is None:
+                raise ClusterError(
+                    "a cluster replicates the WAL, so it needs durability "
+                    "on; pass durability='wal' or 'snapshot+wal'"
+                )
+            metrics = self.observability.metrics
+            self.cluster = ClusterManager(
+                cluster,
+                self.storage,
+                self.scenario.registry.network,
+                self.factors,
+                seed=self.seed,
+                metrics=metrics if metrics.enabled else None,
+            )
         self.recovery_reports: list[RecoveryReport] = []
         self._last_factory: MessageFactory | None = None
         self._last_population: Population | None = None
@@ -270,6 +305,17 @@ class BenchmarkClient:
             if spec.faults is not None
             else None
         )
+        cluster = (
+            ClusterConfig(
+                hosts=spec.cluster_hosts,
+                replicas=spec.cluster_replicas,
+                mode=spec.repl_mode,
+                repl_lag=spec.repl_lag,
+                repl_batch=spec.repl_batch,
+            )
+            if spec.cluster_hosts
+            else None
+        )
         return cls(
             scenario,
             engine,
@@ -282,6 +328,7 @@ class BenchmarkClient:
             resilience=resilience,
             durability=spec.durability,
             checkpoint_every=spec.checkpoint_every,
+            cluster=cluster,
         )
 
     # -- phase work ---------------------------------------------------------------
@@ -342,6 +389,16 @@ class BenchmarkClient:
                 else []
             ),
             recovery_reports=list(self.recovery_reports),
+            failover_reports=(
+                list(self.cluster.failover_reports)
+                if self.cluster is not None
+                else []
+            ),
+            replication=(
+                self.cluster.shipper.stats
+                if self.cluster is not None
+                else None
+            ),
         )
 
     def _phase_pre(self) -> None:
@@ -400,6 +457,10 @@ class BenchmarkClient:
             # Baseline checkpoint over the freshly initialized landscape;
             # journaling is live from here until period end.
             self.storage.begin_period(period, self.engine)
+        if self.cluster is not None:
+            # Seed this period's replicas from the baseline checkpoint
+            # and revive whatever failovers the last period killed.
+            self.cluster.begin_period(period)
         records_before = len(self.engine.records)
         if tracer.enabled:
             self._stream_spans = {
@@ -417,6 +478,10 @@ class BenchmarkClient:
             # Heal whatever the spec never recovered so phase post and
             # the next period start from an intact landscape.
             self.resilience.end_period()
+        if self.cluster is not None:
+            # Replication barrier: lagging followers drain so every
+            # period ends with byte-comparable replicas.
+            self.cluster.end_period()
 
         new_records = self.engine.records[records_before:]
         self.monitor.absorb(new_records)
@@ -481,6 +546,8 @@ class BenchmarkClient:
             raise BenchmarkError(
                 "engine crashed but durability is off"
             ) from crash
+        if self.cluster is not None:
+            return self._failover_and_resume(event, crash)
         self._phase_pre()  # the crash wiped deployments: redeploy
         self.storage.reattach_engine(self.engine)
         report = RecoveryManager(self.storage).recover(self.engine)
@@ -492,6 +559,44 @@ class BenchmarkClient:
             else event
         )
         return self._handle_in_stream(retry_event)
+
+    def _failover_and_resume(
+        self, event: ProcessEvent, crash: EngineCrashed
+    ) -> InstanceRecord:
+        """Cluster failover after a crash fault killed a primary host.
+
+        The distributed variant of :meth:`_recover_and_resume`: redeploy
+        and reattach as usual, park the interrupted message in the
+        dead-letter queue, run the failover protocol (detection →
+        election → promotion → catalog reroute), then redispatch the
+        parked message — with the pristine copy when the crash hit at
+        the commit point.  The first served completion closes the
+        failover's RTO clock.
+        """
+        assert self.cluster is not None and self.storage is not None
+        self._phase_pre()  # the crash wiped deployments: redeploy
+        self.storage.reattach_engine(self.engine)
+        self.cluster.park(event, crash)
+        letter = self.cluster.parking[-1][0]
+        dlq = (
+            self.resilience.dead_letters
+            if self.resilience is not None
+            else None
+        )
+        if dlq is not None:
+            # The in-flight message waits out the failover in the
+            # dead-letter queue; redispatch removes it again below.
+            dlq.push(letter)
+        report = self.cluster.failover(self.engine, crash)
+        self.monitor.absorb_failover(report)
+        retry_event = self.cluster.pop_parked() or event
+        if crash.pristine_message is not None:
+            retry_event = replace(retry_event, message=crash.pristine_message)
+        record = self._handle_in_stream(retry_event)
+        self.cluster.complete_failover(report, record.completion)
+        if dlq is not None and letter in dlq.entries:
+            dlq.entries.remove(letter)
+        return record
 
     def _run_message_streams(
         self, period: int, factory: MessageFactory

@@ -91,6 +91,51 @@ class RecoverySummary:
         )
 
 
+@dataclass(frozen=True)
+class FailoverSummary:
+    """Cluster failover statistics over one monitor's absorbed reports.
+
+    Times are reported in tu (like NAVG+): detection delays and RTOs are
+    modeled in engine units and scaled by the run's time factor; the
+    wall-clock milliseconds are real measurements and pass through
+    unscaled.  ``rpo_records`` is the total LSN exposure across every
+    election — exactly 0 under synchronous shipping.
+    """
+
+    failovers: int
+    promoted: int
+    rolled_back: int
+    rebuilt_from_log: int
+    rerouted: int
+    rpo_records: int
+    rpo_max: int
+    catchup_records: int
+    rows_restored: int
+    redispatched: int
+    mean_rto_tu: float
+    max_rto_tu: float
+    mean_detection_tu: float
+    wall_ms: float
+
+    def describe(self) -> str:
+        if not self.failovers:
+            return "failover: none (no primary lost this run)"
+        return (
+            f"failover: failovers={self.failovers} "
+            f"promoted={self.promoted} rolled_back={self.rolled_back} "
+            f"rebuilt={self.rebuilt_from_log} rerouted={self.rerouted} "
+            f"redispatched={self.redispatched}\n"
+            f"  RPO: {self.rpo_records} record(s) total, "
+            f"max {self.rpo_max} per failover; "
+            f"{self.catchup_records} record(s) caught up, "
+            f"{self.rows_restored} rows restored\n"
+            f"  RTO: mean={self.mean_rto_tu:.2f}tu "
+            f"max={self.max_rto_tu:.2f}tu "
+            f"detection mean={self.mean_detection_tu:.2f}tu "
+            f"({self.wall_ms:.1f} ms wall total)"
+        )
+
+
 #: The percentile points every latency report in this codebase uses.
 LATENCY_POINTS = (50, 95, 99)
 
@@ -215,6 +260,8 @@ class Monitor:
         self.time_scale = time_scale
         self.records: list[InstanceRecord] = []
         self.recoveries: list[RecoveryReport] = []
+        #: Cluster failover reports (see :mod:`repro.cluster.failover`).
+        self.failovers: list = []
         self.observability = observability or Observability.disabled()
 
     def absorb(self, records: Iterable[InstanceRecord]) -> None:
@@ -230,6 +277,10 @@ class Monitor:
     def absorb_recovery(self, report: RecoveryReport) -> None:
         """Book one crash recovery performed by the client."""
         self.recoveries.append(report)
+
+    def absorb_failover(self, report) -> None:
+        """Book one cluster failover (a :class:`FailoverReport`)."""
+        self.failovers.append(report)
 
     def absorb_outcome(self, outcome: "RunOutcome") -> None:
         """Absorb everything one sweep grid point produced.
@@ -250,6 +301,8 @@ class Monitor:
         self.absorb(outcome.result.records)
         for report in outcome.result.recovery_reports:
             self.absorb_recovery(report)
+        for report in outcome.result.failover_reports:
+            self.absorb_failover(report)
 
     @classmethod
     def merged(cls, outcomes: "Sequence[RunOutcome]") -> "Monitor":
@@ -271,6 +324,7 @@ class Monitor:
     def clear(self) -> None:
         self.records.clear()
         self.recoveries.clear()
+        self.failovers.clear()
 
     # -- metrics --------------------------------------------------------------
 
@@ -363,6 +417,40 @@ class Monitor:
             mean_recovery_tu=sum(costs) / len(costs) if costs else 0.0,
             max_recovery_tu=max(costs, default=0.0),
             wall_ms=sum(r.wall_ms for r in self.recoveries),
+        )
+
+    def failover_summary(self) -> FailoverSummary:
+        """Aggregate cluster RTO/RPO statistics, modeled times in tu.
+
+        The distributed counterpart of :meth:`recovery_summary`: how
+        many primaries were lost, what the elections exposed (RPO) and
+        how long the cluster was effectively headless (RTO), under the
+        benchmark's out-of-band cost model.
+        """
+        reports = self.failovers
+        rtos = [
+            r.rto_eu * self.time_scale
+            for r in reports
+            if r.rto_eu is not None
+        ]
+        detections = [r.detection_eu * self.time_scale for r in reports]
+        return FailoverSummary(
+            failovers=len(reports),
+            promoted=sum(len(r.promoted) for r in reports),
+            rolled_back=sum(r.rolled_back for r in reports),
+            rebuilt_from_log=sum(r.rebuilt_from_log for r in reports),
+            rerouted=sum(r.rerouted for r in reports),
+            rpo_records=sum(r.rpo_records for r in reports),
+            rpo_max=max((r.rpo_records for r in reports), default=0),
+            catchup_records=sum(r.catchup_records for r in reports),
+            rows_restored=sum(r.rows_restored for r in reports),
+            redispatched=sum(r.redispatched for r in reports),
+            mean_rto_tu=sum(rtos) / len(rtos) if rtos else 0.0,
+            max_rto_tu=max(rtos, default=0.0),
+            mean_detection_tu=(
+                sum(detections) / len(detections) if detections else 0.0
+            ),
+            wall_ms=sum(r.wall_ms for r in reports),
         )
 
     def period_series(self, process_id: str) -> list[tuple[int, int, float]]:

@@ -1,0 +1,124 @@
+"""Consistent-hash ring, shard map, and failover-protocol unit pieces."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    DatabaseReplica,
+    HashRing,
+    HeartbeatConfig,
+    ShardMap,
+    elect,
+)
+from repro.errors import ClusterError
+
+
+class TestHashRing:
+    def test_placement_is_a_pure_function_of_the_seed(self):
+        keys = [f"db{n}" for n in range(20)]
+        ring_a = HashRing(["H0", "H1", "H2"], seed=7)
+        ring_b = HashRing(["H0", "H1", "H2"], seed=7)
+        assert [ring_a.host_for(k) for k in keys] == [
+            ring_b.host_for(k) for k in keys
+        ]
+        ring_c = HashRing(["H0", "H1", "H2"], seed=8)
+        assert [ring_a.host_for(k) for k in keys] != [
+            ring_c.host_for(k) for k in keys
+        ]
+
+    def test_every_host_gets_keys(self):
+        ring = HashRing(["H0", "H1", "H2"], seed=42, vnodes=16)
+        placed = {ring.host_for(f"key{n}") for n in range(200)}
+        assert placed == {"H0", "H1", "H2"}
+
+    def test_preference_lists_distinct_hosts(self):
+        ring = HashRing(["H0", "H1", "H2", "H3"], seed=1)
+        preference = ring.preference("some-db", 4)
+        assert sorted(preference) == ["H0", "H1", "H2", "H3"]
+
+    def test_dead_host_keys_move_only_to_successors(self):
+        # The consistent-hashing failover property: when a host dies,
+        # every one of its keys lands on the next live host in its own
+        # preference walk — keys of surviving hosts do not move.
+        ring = HashRing(["H0", "H1", "H2"], seed=7)
+        keys = [f"key{n}" for n in range(60)]
+        before = {k: ring.host_for(k) for k in keys}
+        alive = ["H0", "H2"]
+        for key in keys:
+            after = ring.preference(key, 1, alive=alive)[0]
+            if before[key] != "H1":
+                assert after == before[key], f"{key} moved needlessly"
+            else:
+                walk = ring.preference(key, 3)
+                survivors = [h for h in walk if h != "H1"]
+                assert after == survivors[0]
+
+    def test_no_live_host_rejected(self):
+        ring = HashRing(["H0", "H1"], seed=3)
+        with pytest.raises(ClusterError, match="no live host"):
+            ring.preference("db", 1, alive=[])
+
+    def test_duplicate_hosts_rejected(self):
+        with pytest.raises(ClusterError, match="duplicate"):
+            HashRing(["H0", "H0"], seed=1)
+
+
+class TestShardMap:
+    def test_large_tables_split_small_tables_do_not(self):
+        from repro.db.database import Database
+        from repro.db.schema import Column, TableSchema
+
+        db = Database("d")
+        for name, rows in (("small", 10), ("large", 250)):
+            table = db.create_table(
+                TableSchema(
+                    name,
+                    [Column("k", "BIGINT", nullable=False)],
+                    primary_key=("k",),
+                )
+            )
+            for k in range(rows):
+                table.insert({"k": k})
+        ring = HashRing(["H0", "H1", "H2"], seed=7)
+        shard_map = ShardMap.build([db], ring)
+        assert len(shard_map.shards[("d", "small")]) == 1
+        assert len(shard_map.shards[("d", "large")]) == 4
+        assert shard_map.shard_count() == 5
+        assert sum(shard_map.balance().values()) == 5
+        assert "d.large: 4 shards" in shard_map.describe()
+
+
+class TestHeartbeat:
+    def test_detection_is_deterministic_and_positive(self):
+        config = HeartbeatConfig(interval=5.0, miss_threshold=2)
+        # Crash at t=12: first missed beat t=15, declared dead at t=20.
+        assert config.detection_delay(12.0) == pytest.approx(8.0)
+        # Crash exactly on a beat: that beat was served; the next one
+        # (t=15) is the first missed.
+        assert config.detection_delay(10.0) == pytest.approx(10.0)
+        for crash_at in (0.1, 4.9, 5.0, 99.3):
+            assert config.detection_delay(crash_at) > 0
+
+
+class TestElection:
+    def test_max_lsn_wins_host_id_breaks_ties(self):
+        ahead = DatabaseReplica("db", "H2")
+        ahead.applied_lsn = 10
+        behind = DatabaseReplica("db", "H1")
+        behind.applied_lsn = 7
+        assert elect([behind, ahead]) is ahead
+        peer = DatabaseReplica("db", "H1")
+        peer.applied_lsn = 10
+        assert elect([ahead, peer]) is peer  # smaller host id
+
+
+class TestClusterConfig:
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            ClusterConfig(hosts=1)
+        with pytest.raises(ClusterError):
+            ClusterConfig(hosts=3, replicas=3)
+        with pytest.raises(ClusterError):
+            ClusterConfig(mode="telepathy")
+        config = ClusterConfig(hosts=4, replicas=2)
+        assert config.host_names == ["H0", "H1", "H2", "H3"]

@@ -75,6 +75,12 @@ class TestRouting:
             assert reply.doc["status"] == "ok"
             assert reply.doc["queue_capacity"] == 64
             assert reply.doc["dispatcher"] == "inline"
+            # The cluster-era health document: per-endpoint breaker
+            # states, dead-letter classes and replication aggregates
+            # are always present, even with nothing served yet.
+            assert reply.doc["breaker_states"] == {}
+            assert reply.doc["dead_letters_by_class"] == {}
+            assert reply.doc["replication"]["failovers"] == 0
 
         serve_scenario(scenario)
 

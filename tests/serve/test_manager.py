@@ -373,6 +373,81 @@ class TestIsolationAndReporting:
         assert set(report["latency_s"]) == {"p50", "p95", "p99"}
         assert report["overhead"]["engine_s"] >= 0
 
+    def test_cluster_telemetry_reaches_healthz_and_metrics(self, monkeypatch):
+        from repro.cluster import FailoverReport, ReplicationStats
+
+        class _NoRows:
+            def rows(self):
+                return []
+
+        class _ClusteredResult:
+            """The slice of BenchmarkResult the serve layer reads."""
+
+            def __init__(self):
+                self.replication = ReplicationStats(
+                    mode="async", hosts=3, replicas_per_db=1,
+                    replica_count=11, shipped_records=120, batches=7,
+                    max_lag_records=4,
+                )
+                self.failover_reports = [
+                    FailoverReport(
+                        index=0, period=0, dead_host="H1", crash_at=40.0,
+                        detected_at=47.5, detection_eu=7.5, rpo_records=3,
+                    ),
+                ]
+                self.metrics = _NoRows()
+
+        def fake_run_spec(spec):
+            if spec.sabotage == "raise":
+                return RunOutcome.failed(spec, RuntimeError("sabotaged run"))
+            outcome = RunOutcome(
+                spec=spec, status="ok",
+                landscape_digest="d", wall_seconds=0.001,
+            )
+            outcome.result = _ClusteredResult()
+            return outcome
+
+        monkeypatch.setattr("repro.serve.dispatch.run_spec", fake_run_spec)
+
+        async def scenario():
+            manager = SessionManager(_config())
+            await manager.start()
+            done = manager.submit(_doc(seed=1))
+            await manager.wait(done, timeout=5)
+            repeat = manager.submit(_doc(seed=1))  # cache hit
+            await manager.wait(repeat, timeout=5)
+            failed = manager.submit(
+                _doc(tenant="globex", seed=2, sabotage="raise")
+            )
+            await manager.wait(failed, timeout=5)
+            stats = manager.stats()
+            snapshot = manager.metrics.snapshot()
+            await manager.shutdown()
+            return repeat, stats, snapshot
+
+        repeat, stats, snapshot = run(scenario())
+        assert repeat.cached
+        # Per-endpoint breaker states, not just the state histogram.
+        assert stats["breaker_states"] == {
+            "acme": "closed", "globex": "closed",
+        }
+        assert stats["dead_letters_by_class"] == {"RuntimeError": 1}
+        # The cache hit re-serves a recorded run: replication is
+        # counted once, for the session that actually executed.
+        assert stats["replication"] == {
+            "sessions": 1,
+            "shipped_records": 120,
+            "max_lag_records": 4,
+            "failovers": 1,
+            "rpo_records": 3,
+        }
+        assert snapshot["cluster_replica_lag_records{tenant=acme}"] == 4.0
+        assert snapshot["cluster_shipped_records_total{tenant=acme}"] == 120.0
+        assert snapshot["serve_failovers_total{tenant=acme}"] == 1.0
+        assert snapshot["serve_rpo_records_total{tenant=acme}"] == 3.0
+        assert snapshot["serve_breaker_state{tenant=acme}"] == 0.0
+        assert snapshot["serve_dead_letters_depth"] == 1.0
+
     def test_healthz_stats(self, fast_runs):
         async def scenario():
             manager = SessionManager(_config())
