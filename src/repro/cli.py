@@ -151,6 +151,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="collect per-worker metrics shards, merge "
                             "them in grid order and write Prometheus "
                             "text")
+    sweep.add_argument("--synth", action="append", default=[],
+                       metavar="KNOBS",
+                       help="synthesized-workload knob string (e.g. "
+                            "sources=3,depth=2,families=cdc+scd); "
+                            "repeatable — sweeps as one more grid axis "
+                            "(also spellable as --grid synth=K1/K2)")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress the per-point table")
 
@@ -230,6 +236,10 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--naive", action="store_true",
                          help="disable the relational fast path for this "
                               "run (baseline comparison)")
+    profile.add_argument("--synth", default="", metavar="KNOBS",
+                         help="profile a synthesized workload instead of "
+                              "the classic scenario; adds a per-family "
+                              "cost breakdown to the report")
     profile.add_argument("--out", metavar="FILE.json",
                          help="also write the breakdown as JSON")
 
@@ -298,6 +308,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        default="interpreter")
     storm.add_argument("--datasize", type=float, default=0.02)
     storm.add_argument("--time", type=float, default=1.0)
+    storm.add_argument("--synth", default="", metavar="KNOBS",
+                       help="storm synthesized workloads: every pooled "
+                            "spec carries this knob string (pool seeds "
+                            "keep the scenarios distinct)")
     storm.add_argument("--host",
                        help="target a running server instead of "
                             "self-hosting one in-process")
@@ -394,6 +408,45 @@ def _build_parser() -> argparse.ArgumentParser:
     ctopo.add_argument("--seed", type=int, default=42)
     ctopo.add_argument("--vnodes", type=int, default=8)
     ctopo.add_argument("--datasize", type=float, default=0.05)
+
+    synth = commands.add_parser(
+        "synth",
+        help="parameterized workload synthesis: generate, describe or "
+             "run seeded integration scenarios (CDC/SCD/dirty-data "
+             "process families)",
+    )
+    synth.add_argument("action", choices=("generate", "describe", "run"),
+                       help="generate = print the scenario manifest and "
+                            "its content digest; describe = human "
+                            "summary; run = execute the workload")
+    synth.add_argument("--knobs", default="", metavar="KNOBS",
+                       help="knob string, e.g. sources=3,depth=2,"
+                            "noise=0.3,families=cdc+scd+dirty "
+                            "(empty = all defaults)")
+    synth.add_argument("--engine", choices=sorted(ENGINES),
+                       default="interpreter")
+    synth.add_argument("--distribution", type=int, default=0,
+                       choices=(0, 1, 2, 3),
+                       help="scale factor f driving the generator's "
+                            "value skew (0 uniform, 1 zipf, 2 normal, "
+                            "3 exponential)")
+    synth.add_argument("--time", type=float, default=1.0,
+                       help="scale factor t (default 1.0)")
+    synth.add_argument("--periods", type=int, default=1,
+                       help="benchmark periods for run (default 1)")
+    synth.add_argument("--seed", type=int, default=42,
+                       help="generator seed unless the knob string "
+                            "pins one (default 42)")
+    synth.add_argument("--workers", type=int, default=4,
+                       help="engine worker count for run")
+    synth.add_argument("--conformance", action="store_true",
+                       help="run differentially on every engine and "
+                            "assert digest/status/verification equality")
+    synth.add_argument("--out", metavar="FILE.json",
+                       help="write the manifest (generate) or the run/"
+                            "conformance report as JSON")
+    synth.add_argument("--quiet", action="store_true",
+                       help="suppress the per-family cost table")
 
     commands.add_parser("processes", help="list the benchmark process types")
     commands.add_parser(
@@ -508,8 +561,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     try:
         seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+        axes = parse_grid_axes(args.grid)
+        if args.synth:
+            from repro.synth.spec import knob_problems
+
+            for knobs in args.synth:
+                problems = knob_problems(knobs)
+                if problems:
+                    raise SweepError(
+                        f"bad --synth {knobs!r}: " + "; ".join(problems)
+                    )
+            axes["synth"] = axes.get("synth", []) + list(args.synth)
         specs = grid_from_axes(
-            parse_grid_axes(args.grid),
+            axes,
             engines=engines,
             seeds=seeds,
             periods=args.periods,
@@ -880,15 +944,33 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     factors = ScaleFactors(
         datasize=args.datasize, time=args.time, distribution=args.distribution
     )
-    scenario = build_scenario(seed=args.seed)
-    engine = ENGINES[args.engine](
-        scenario.registry, worker_count=args.workers
-    )
     observability = Observability()
-    client = BenchmarkClient(
-        scenario, engine, factors, periods=args.periods, seed=args.seed,
-        observability=observability,
-    )
+    if args.synth:
+        from repro.synth import SynthSpec, SynthSpecError, synthesize
+        from repro.synth.runner import SynthClient
+
+        try:
+            synth_spec = SynthSpec.parse(args.synth).resolve(args.seed)
+        except SynthSpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        workload = synthesize(synth_spec, f=args.distribution)
+        engine = ENGINES[args.engine](
+            workload.scenario.registry, worker_count=args.workers
+        )
+        client = SynthClient(
+            workload, engine, factors, periods=args.periods,
+            observability=observability,
+        )
+    else:
+        scenario = build_scenario(seed=args.seed)
+        engine = ENGINES[args.engine](
+            scenario.registry, worker_count=args.workers
+        )
+        client = BenchmarkClient(
+            scenario, engine, factors, periods=args.periods, seed=args.seed,
+            observability=observability,
+        )
     stats_base = fastpath.STATS.copy()
     if args.naive:
         with fastpath.disabled():
@@ -919,7 +1001,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print(
         f"engine={result.engine_name} d={args.datasize} t={args.time} "
         f"periods={result.periods} path={mode}"
+        + (f" workload={args.synth}" if args.synth else "")
     )
+    if args.synth:
+        # Generated workloads report in family terms, not raw SY-ids.
+        print()
+        print(client.monitor.family_table())
+        print()
     print(f"{'operator':<16}{'count':>8}{'cost':>12}{'work':>12}{'comm':>10}")
     for op_kind in sorted(
         breakdown, key=lambda k: breakdown[k]["cost"], reverse=True
@@ -945,6 +1033,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             "operators": breakdown,
             "fastpath": stats,
         }
+        if args.synth:
+            payload["workload"] = args.synth
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"breakdown written to {args.out}")
@@ -1116,6 +1206,7 @@ def _cmd_storm(args: argparse.Namespace) -> int:
             engine=args.engine,
             datasize=args.datasize,
             time=args.time,
+            synth=args.synth,
         )
         serve_config = ServeConfig(
             queue_capacity=args.queue,
@@ -1218,6 +1309,153 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_synth(args: argparse.Namespace) -> int:
+    """Generate, describe or run one synthesized integration workload."""
+    from repro.synth import (
+        SynthSpec,
+        SynthSpecError,
+        build_manifest,
+        manifest_digest,
+        manifest_to_json,
+        run_differential,
+        synthesize,
+    )
+    from repro.synth.families import label_process
+    from repro.synth.runner import SynthClient
+
+    try:
+        spec = SynthSpec.parse(args.knobs).resolve(args.seed)
+    except SynthSpecError as exc:
+        print(
+            f"invalid --knobs: {len(exc.problems)} problem(s)",
+            file=sys.stderr,
+        )
+        for problem in exc.problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 2
+
+    if args.action == "run" and args.conformance:
+        report = run_differential(
+            spec, f=args.distribution, periods=args.periods, time=args.time
+        )
+        print(report.summary())
+        for outcome in report.outcomes:
+            status = "ok" if outcome.verification_ok else "FAILED"
+            print(
+                f"  {outcome.engine:<14} digest={outcome.digest[:12]} "
+                f"verification={status}"
+            )
+        if args.out:
+            write_json_atomic(
+                args.out,
+                {
+                    "spec": spec.canonical(),
+                    "spec_digest": spec.digest(),
+                    "distribution": args.distribution,
+                    "ok": report.ok,
+                    "problems": report.problems,
+                    "engines": {
+                        o.engine: {
+                            "digest": o.digest,
+                            "verification_ok": o.verification_ok,
+                        }
+                        for o in report.outcomes
+                    },
+                },
+            )
+            print(f"conformance report written to {args.out}")
+        return 0 if report.ok else 1
+
+    workload = synthesize(spec, f=args.distribution)
+    manifest = build_manifest(workload, periods=args.periods)
+    digest_of_manifest = manifest_digest(manifest)
+
+    if args.action == "generate":
+        if args.out:
+            write_text_atomic(args.out, manifest_to_json(manifest) + "\n")
+            print(f"spec: {spec.to_string() or '<defaults>'}")
+            print(f"manifest digest: {digest_of_manifest}")
+            print(f"manifest written to {args.out}")
+        else:
+            # Bare generate keeps stdout pipe-clean JSON; the digest
+            # goes to stderr so `repro synth generate > m.json` works.
+            print(manifest_to_json(manifest))
+            print(f"manifest digest: {digest_of_manifest}", file=sys.stderr)
+        return 0
+
+    if args.action == "describe":
+        print(f"spec:       {spec.to_string() or '<defaults>'}")
+        print(f"canonical:  {json.dumps(spec.canonical(), sort_keys=True)}")
+        print(f"spec digest:     {spec.digest()}")
+        print(f"manifest digest: {digest_of_manifest}")
+        print(f"distribution f={args.distribution}  seed={spec.seed}")
+        print(f"families: {', '.join(spec.families)}")
+        print(f"source groups: {workload.groups}")
+        print("databases:")
+        for name, doc in sorted(manifest["databases"].items()):
+            tables = ", ".join(sorted(doc["tables"]))
+            print(f"  {name:<16} {tables}")
+        print("processes:")
+        for pid, doc in sorted(manifest["processes"].items()):
+            ops = len(doc["operators"])
+            print(
+                f"  {label_process(pid):<14} {doc['event_type']:<4} "
+                f"{ops:>2} operators"
+            )
+        print("plans:")
+        for period, doc in sorted(manifest["plans"].items()):
+            truth = doc["ground_truth"]
+            print(
+                f"  period {period}: {doc['messages']} messages, "
+                f"{truth['duplicate_pairs']} duplicate pairs, "
+                f"{truth['corrupted_rows']} corrupted rows"
+            )
+        return 0
+
+    # action == "run"
+    factors = ScaleFactors(time=args.time, distribution=args.distribution)
+    engine = ENGINES[args.engine](
+        workload.scenario.registry, worker_count=args.workers
+    )
+    client = SynthClient(
+        workload, engine, factors, periods=args.periods
+    )
+    result = client.run()
+    digest = landscape_digest(workload.scenario.all_databases.values())
+    print(
+        f"engine={result.engine_name} spec={spec.to_string() or '<defaults>'} "
+        f"f={args.distribution} periods={result.periods}"
+    )
+    print(
+        f"instances={result.total_instances} "
+        f"errors={result.error_instances} landscape={digest[:12]}"
+    )
+    if not args.quiet:
+        print()
+        print(client.monitor.family_table())
+        print()
+    print(result.verification.summary())
+    if args.out:
+        write_json_atomic(
+            args.out,
+            {
+                "spec": spec.canonical(),
+                "spec_digest": spec.digest(),
+                "manifest_digest": digest_of_manifest,
+                "engine": result.engine_name,
+                "distribution": args.distribution,
+                "periods": result.periods,
+                "instances": result.total_instances,
+                "errors": result.error_instances,
+                "landscape_digest": digest,
+                "verification_ok": result.verification.ok,
+                "failures": list(result.verification.failures),
+            },
+        )
+        print(f"run report written to {args.out}")
+    return 0 if result.verification.ok else 1
+
+
 def _cmd_processes(_args: argparse.Namespace) -> int:
     processes = build_processes()
     print(f"{'Group':<7}{'ID':<8}{'Event':<7}{'Ops':>5}  Name")
@@ -1260,6 +1498,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "storm": _cmd_storm,
         "schedule": _cmd_schedule,
         "faults": _cmd_faults,
+        "synth": _cmd_synth,
         "processes": _cmd_processes,
         "validate": _cmd_validate,
     }[args.command]

@@ -5,9 +5,14 @@ every published DIPBench figure is a sweep over that grid.  This module
 turns axis value lists into the deterministic, ordered list of
 :class:`RunSpec`\\ s the executor fans out — grid order is the
 ``itertools.product`` order of ``(engine, datasize, time, distribution,
-seed)`` with each axis in the order given, and the merged sweep result
-always comes back in exactly that order regardless of which worker
-finished first.
+seed, synth)`` with each axis in the order given, and the merged sweep
+result always comes back in exactly that order regardless of which
+worker finished first.
+
+The ``synth`` axis sweeps synthesized-workload knob strings
+(``repro.synth``).  Because knob strings contain commas, its axis
+*values* are separated by ``"/"`` (``synth=depth=1/depth=3``); the empty
+default keeps the classic scenario.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ _AXIS_NAMES = {
     "d": "d", "datasize": "d",
     "t": "t", "time": "t",
     "f": "f", "distribution": "f",
+    "synth": "synth", "workload": "synth",
 }
 
 
@@ -29,8 +35,10 @@ def parse_grid_axes(items: Iterable[str]) -> dict[str, list]:
     """Parse ``d=0.02,0.05``-style axis definitions.
 
     Accepts the axis keys ``d``/``datasize`` (floats), ``t``/``time``
-    (floats) and ``f``/``distribution`` (ints).  Values keep the order
-    they were written in; repeating an axis is an error.
+    (floats), ``f``/``distribution`` (ints) and ``synth``/``workload``
+    (knob strings, ``"/"``-separated since knob strings contain commas).
+    Values keep the order they were written in; repeating an axis is an
+    error.
     """
     axes: dict[str, list] = {}
     for item in items:
@@ -38,7 +46,8 @@ def parse_grid_axes(items: Iterable[str]) -> dict[str, list]:
         key = key.strip().lower()
         if not sep or key not in _AXIS_NAMES:
             raise SweepError(
-                f"bad grid axis {item!r}: expected d=..., t=... or f=..."
+                f"bad grid axis {item!r}: expected d=..., t=..., f=... "
+                "or synth=..."
             )
         axis = _AXIS_NAMES[key]
         if axis in axes:
@@ -46,6 +55,19 @@ def parse_grid_axes(items: Iterable[str]) -> dict[str, list]:
         try:
             if axis == "f":
                 parsed = [int(v) for v in values.split(",") if v.strip()]
+            elif axis == "synth":
+                # Validate each knob string up front so a bad sweep axis
+                # fails before any worker is spawned.
+                from repro.synth.spec import knob_problems
+
+                parsed = [v.strip() for v in values.split("/") if v.strip()]
+                for knobs in parsed:
+                    problems = knob_problems(knobs)
+                    if problems:
+                        raise SweepError(
+                            f"bad synth axis value {knobs!r}: "
+                            + "; ".join(problems)
+                        )
             else:
                 parsed = [float(v) for v in values.split(",") if v.strip()]
         except ValueError as exc:
@@ -62,17 +84,20 @@ def expand_grid(
     times: Sequence[float] = (1.0,),
     distributions: Sequence[int] = (0,),
     seeds: Sequence[int] = (42,),
+    synths: Sequence[str] = ("",),
     **common,
 ) -> list[RunSpec]:
     """All grid points in deterministic order, sharing ``common`` fields.
 
     ``common`` holds everything that is not a sweep axis (periods,
     faults, durability, ...) and is passed to every :class:`RunSpec`
-    verbatim.
+    verbatim.  ``synths`` defaults to the single empty knob string —
+    the classic scenario — so existing sweeps expand identically.
     """
     for name, values in (
         ("engines", engines), ("datasizes", datasizes), ("times", times),
         ("distributions", distributions), ("seeds", seeds),
+        ("synths", synths),
     ):
         if not values:
             raise SweepError(f"grid axis {name!r} has no values")
@@ -83,10 +108,11 @@ def expand_grid(
             time=t,
             distribution=f,
             seed=seed,
+            synth=synth,
             **common,
         )
-        for engine, d, t, f, seed in itertools.product(
-            engines, datasizes, times, distributions, seeds
+        for engine, d, t, f, seed, synth in itertools.product(
+            engines, datasizes, times, distributions, seeds, synths
         )
     ]
 
@@ -104,5 +130,6 @@ def grid_from_axes(
         times=axes.get("t", [1.0]),
         distributions=axes.get("f", [0]),
         seeds=seeds,
+        synths=axes.get("synth", [""]),
         **common,
     )

@@ -72,6 +72,10 @@ class RunSpec:
     collect_metrics: bool = False
     collect_trace: bool = False
     sabotage: str = ""
+    #: Synthesized-workload knob string (``repro.synth``); empty runs the
+    #: classic DIPBench scenario.  The spec's own ``seed`` is inherited
+    #: by the synthesizer unless the knob string pins one.
+    synth: str = ""
 
     @property
     def factors(self) -> ScaleFactors:
@@ -83,17 +87,25 @@ class RunSpec:
 
     @property
     def label(self) -> str:
-        """Stable human-readable grid-point identity."""
-        return (
+        """Stable human-readable grid-point identity.
+
+        Classic runs keep the historical four-factor label byte for
+        byte; a synthesized run appends its knob string, which is part
+        of the grid point's identity (and so of the fingerprint).
+        """
+        base = (
             f"{self.engine} d={self.datasize:g} t={self.time:g} "
             f"f={self.distribution} seed={self.seed}"
         )
+        if self.synth:
+            return f"{base} synth={self.synth}"
+        return base
 
     def grid_key(self) -> tuple:
         """Deterministic sort key over the sweep dimensions."""
         return (
             self.engine, self.datasize, self.time,
-            self.distribution, self.seed,
+            self.distribution, self.seed, self.synth,
         )
 
     def with_engine(self, engine: str) -> "RunSpec":
@@ -198,6 +210,8 @@ class RunOutcome:
             "landscape_digest": self.landscape_digest,
             "fingerprint": self.fingerprint(),
         }
+        if self.spec.synth:
+            row["synth"] = self.spec.synth
         if self.result is not None:
             row["instances"] = self.result.total_instances
             row["errors"] = self.result.error_instances
@@ -223,7 +237,12 @@ def run_spec(spec: RunSpec) -> RunOutcome:
     try:
         if spec.sabotage == "raise":
             raise SweepSabotage(f"sabotaged grid point: {spec.label}")
-        client = BenchmarkClient.from_spec(spec)
+        if spec.synth:
+            from repro.synth.runner import SynthClient
+
+            client = SynthClient.from_spec(spec)
+        else:
+            client = BenchmarkClient.from_spec(spec)
         result = client.run(verify=spec.verify)
         digest = landscape_digest(client.scenario.all_databases.values())
         metrics_shard = None

@@ -64,6 +64,10 @@ class StormConfig:
     engine: str = "interpreter"
     datasize: float = 0.02
     time: float = 1.0
+    #: Synthesized-workload knob string shared by every pooled spec;
+    #: empty storms the classic scenario.  Validated up front so a bad
+    #: knob string fails at config time, not as N HTTP 400s.
+    synth: str = ""
     #: Per-session completion wait (long-poll bound, seconds).
     wait_s: float = 30.0
 
@@ -83,18 +87,36 @@ class StormConfig:
             raise ServeError(f"concurrency must be >= 1: {self.concurrency}")
         if self.distinct < 1:
             raise ServeError(f"spec pool must be >= 1: {self.distinct}")
+        if self.synth:
+            from repro.synth.spec import knob_problems
+
+            problems = knob_problems(self.synth)
+            if problems:
+                raise ServeError(
+                    f"bad storm synth knobs {self.synth!r}: "
+                    + "; ".join(problems)
+                )
 
     def spec_pool(self) -> list[dict]:
-        """The ``distinct`` spec documents clients draw from."""
-        return [
-            {
+        """The ``distinct`` spec documents clients draw from.
+
+        Pool entries differ only by seed — for synthesized workloads the
+        generator inherits the spec seed, so each pool entry is a
+        distinct-but-deterministic generated scenario (distinct cache
+        keys server-side, repeatable across storms).
+        """
+        pool = []
+        for k in range(self.distinct):
+            doc = {
                 "engine": self.engine,
                 "datasize": self.datasize,
                 "time": self.time,
                 "seed": self.seed * 1000 + k,
             }
-            for k in range(self.distinct)
-        ]
+            if self.synth:
+                doc["synth"] = self.synth
+            pool.append(doc)
+        return pool
 
 
 @dataclass

@@ -58,6 +58,7 @@ _V1_SPEC_FIELDS: dict[str, type] = {
     "checkpoint_every": float,
     "verify": bool,
     "sabotage": str,
+    "synth": str,
 }
 
 
@@ -118,6 +119,12 @@ def _validate_spec(spec: RunSpec, problems: list[str]) -> None:
         )
     if spec.sabotage not in ("", "raise", "hard-exit"):
         problems.append(f"spec.sabotage: unknown hook {spec.sabotage!r}")
+    if spec.synth:
+        from repro.synth.spec import knob_problems
+
+        problems.extend(
+            f"spec.synth: {problem}" for problem in knob_problems(spec.synth)
+        )
 
 
 def parse_session_request(
@@ -188,7 +195,7 @@ def parse_session_request(
 
 def spec_to_json(spec: RunSpec) -> dict:
     """Render the canonical spec back into v1 external form."""
-    return {
+    doc = {
         "engine": spec.engine,
         "datasize": spec.datasize,
         "time": spec.time,
@@ -202,6 +209,9 @@ def spec_to_json(spec: RunSpec) -> dict:
         "checkpoint_every": spec.checkpoint_every,
         "verify": spec.verify,
     }
+    if spec.synth:
+        doc["synth"] = spec.synth
+    return doc
 
 
 def session_to_json(session) -> dict:

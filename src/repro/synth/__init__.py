@@ -1,0 +1,83 @@
+"""repro.synth: parameterized workload synthesis.
+
+DIPBench ships one fixed landscape and 15 process types; this package
+makes the workload itself a knob space.  A :class:`SynthSpec` (DAG
+depth/fan-out, transform mix, update ratio, source count, scale, noise,
+process families) plus a seed deterministically generates a full
+integration scenario — heterogeneous source schemas, MTM process
+definitions, message streams, schedules and exact ground truth — that
+every engine, the sweep executor, serve and the cluster overlay run
+unchanged.
+
+Process families beyond the classic pipeline: CDC/replication off
+LSN-stamped change feeds, slowly-changing-dimension (type-1/type-2)
+maintenance, and Alaska-style dirty-data tasks (dedup/entity matching,
+schema matching) verified exactly against generated ground truth.
+"""
+
+from repro.synth.conformance import ConformanceReport, run_differential
+from repro.synth.families import (
+    FamilyRow,
+    family_breakdown,
+    family_of_process,
+    format_family_table,
+    is_synthesized,
+    label_process,
+)
+from repro.synth.feed import ChangeFeed, ChangeFeedService
+from repro.synth.generator import (
+    PeriodPlan,
+    SynthWorkload,
+    build_period_plan,
+    synthesize,
+)
+from repro.synth.manifest import (
+    MANIFEST_FORMAT,
+    build_manifest,
+    manifest_digest,
+    manifest_to_json,
+)
+from repro.synth.runner import SynthClient
+from repro.synth.schema import (
+    SchemaMatchError,
+    SourceDialect,
+    dialect_for,
+    match_columns,
+    match_table,
+    matched_dialect,
+)
+from repro.synth.spec import FAMILIES, SynthSpec, SynthSpecError, knob_problems
+from repro.synth.verify import verify_workload
+
+__all__ = [
+    "FAMILIES",
+    "MANIFEST_FORMAT",
+    "ChangeFeed",
+    "ChangeFeedService",
+    "ConformanceReport",
+    "FamilyRow",
+    "PeriodPlan",
+    "SchemaMatchError",
+    "SourceDialect",
+    "SynthClient",
+    "SynthSpec",
+    "SynthSpecError",
+    "SynthWorkload",
+    "build_manifest",
+    "build_period_plan",
+    "dialect_for",
+    "family_breakdown",
+    "family_of_process",
+    "format_family_table",
+    "is_synthesized",
+    "knob_problems",
+    "label_process",
+    "manifest_digest",
+    "manifest_to_json",
+    "match_columns",
+    "match_table",
+    "matched_dialect",
+    "run_differential",
+    "synthesize",
+    "verify_workload",
+]

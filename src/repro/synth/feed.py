@@ -1,0 +1,113 @@
+"""CDC change feeds: LSN-stamped logical change capture per source.
+
+The PR-3 storage layer owns each table's single WAL ``listener`` slot,
+so CDC taps the *observer* interface instead (``Table.add_observer``):
+every append to a watched source table becomes one logical change
+record with a monotonically increasing LSN — exactly the shape a WAL
+change listener would emit, but composable with durability being on.
+
+The watched transaction-log tables are append-only within a benchmark
+period (fresh transaction keys per message), so ``on_insert`` captures
+every change exactly once.  The only coarse ``on_mutation`` these tables
+ever see is the period-start truncate (or a recovery ``restore_rows``),
+which the feed treats as a rebase: cursor and log reset with the table.
+
+:class:`ChangeFeedService` exposes the feed as a registered service
+endpoint (``pull`` / ``ack``), so the generated replication processes
+reach it through the ordinary INVOKE → registry → network path and every
+pull is charged communication + external cost like any other call.
+"""
+
+from __future__ import annotations
+
+from repro.db.relation import Relation
+from repro.db.table import Table, TableObserver
+from repro.errors import ServiceError
+from repro.services.endpoints import Envelope, ServiceEndpoint
+
+#: The LSN column added in front of the captured row.
+LSN_COLUMN = "lsn"
+
+
+class ChangeFeed(TableObserver):
+    """An ordered log of captured row images with an ack cursor."""
+
+    def __init__(self, table: Table):
+        self.table_name = table.name
+        #: Captured columns: LSN first, then the source table's columns.
+        self.columns = (LSN_COLUMN,) + tuple(table.schema.column_names)
+        self.records: list[dict] = []
+        self.next_lsn = 1
+        self.cursor = 0
+        table.add_observer(self)
+
+    # -- TableObserver ----------------------------------------------------------
+
+    def on_insert(self, table_name: str, row: dict) -> None:
+        self.records.append({LSN_COLUMN: self.next_lsn, **row})
+        self.next_lsn += 1
+
+    def on_mutation(self, table_name: str) -> None:
+        """Coarse mutation (period-start truncate / recovery restore):
+        the watched table was rebuilt, so the feed rebases with it."""
+        self.records.clear()
+        self.next_lsn = 1
+        self.cursor = 0
+
+    # -- feed protocol ----------------------------------------------------------
+
+    def pending(self) -> list[dict]:
+        """Change records past the ack cursor, in LSN order."""
+        return [r for r in self.records if r[LSN_COLUMN] > self.cursor]
+
+    def ack(self, upto: int) -> int:
+        """Advance the cursor (idempotent; never moves backwards)."""
+        self.cursor = max(self.cursor, int(upto))
+        return self.cursor
+
+    @property
+    def drained(self) -> bool:
+        return self.cursor >= self.next_lsn - 1
+
+
+class ChangeFeedService(ServiceEndpoint):
+    """Service face of one :class:`ChangeFeed`.
+
+    Operations:
+
+    * ``pull`` — body ignored; response body is a Relation of pending
+      change records (``lsn`` + source columns), charged per row like a
+      query against an external system;
+    * ``ack``  — body is ``{"upto": lsn}``; advances the cursor and
+      responds with the new cursor position.
+    """
+
+    #: External processing cost per pulled change record (tu), matching
+    #: the DatabaseService stored-procedure unit.
+    external_unit = 0.02
+
+    def __init__(self, name: str, host: str, feed: ChangeFeed):
+        super().__init__(name, host)
+        self.feed = feed
+
+    def operations(self) -> list[str]:
+        return ["pull", "ack"]
+
+    def op_pull(self, request: Envelope) -> Envelope:
+        pending = self.feed.pending()
+        relation = Relation(list(self.feed.columns), pending)
+        return Envelope(
+            "changes",
+            relation,
+            payload_units=float(len(pending)),
+            external_cost=self.external_unit * len(pending),
+        )
+
+    def op_ack(self, request: Envelope) -> Envelope:
+        body = request.body
+        if not isinstance(body, dict) or "upto" not in body:
+            raise ServiceError(
+                f"feed {self.name}: ack body must be {{'upto': lsn}}"
+            )
+        cursor = self.feed.ack(body["upto"])
+        return Envelope("ack_ok", {"cursor": cursor}, payload_units=1.0)

@@ -1,0 +1,116 @@
+"""Scenario manifests: the serializable description of a synthesis.
+
+``repro synth generate`` prints (or writes) one of these; its digest is
+the *output* identity of the determinism contract — two manifests share
+a digest iff the synthesizer produced structurally identical scenarios
+(schemas, services, process graphs, message counts, ground-truth
+volumes).  :data:`MANIFEST_FORMAT` versions the shape, like the
+``dipbench.session/v1`` wire format does for serve.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.mtm.blocks import Operator, Sequence
+from repro.synth.families import family_of_process
+from repro.synth.generator import SynthWorkload
+
+MANIFEST_FORMAT = "dipbench.synth/v1"
+
+
+def _operator_names(node) -> list[str]:
+    """Flattened operator class names of a process graph, in order."""
+    if isinstance(node, Sequence):
+        names: list[str] = []
+        for step in node.steps:
+            names.extend(_operator_names(step))
+        return names
+    if isinstance(node, Operator):
+        return [type(node).__name__]
+    return [type(node).__name__]
+
+
+def build_manifest(workload: SynthWorkload, periods: int = 1) -> dict:
+    """The full structural description of one synthesized workload."""
+    spec = workload.spec
+    databases: dict[str, dict] = {}
+    for name, db in sorted(workload.scenario.databases.items()):
+        tables: dict[str, dict] = {}
+        for table_name in sorted(db.table_names):
+            schema = db.table(table_name).schema
+            tables[table_name] = {
+                "columns": [
+                    [c.name, c.sql_type] for c in schema.columns
+                ],
+                "primary_key": list(schema.primary_key),
+                "foreign_keys": [
+                    {
+                        "columns": list(fk.columns),
+                        "parent_table": fk.parent_table,
+                        "parent_columns": list(fk.parent_columns),
+                    }
+                    for fk in (schema.foreign_keys or [])
+                ],
+            }
+        databases[name] = {"tables": tables}
+
+    processes: dict[str, dict] = {}
+    for pid in sorted(workload.processes):
+        process = workload.processes[pid]
+        processes[pid] = {
+            "family": family_of_process(pid),
+            "group": process.group.name,
+            "event_type": process.event_type.name,
+            "operators": _operator_names(process.root),
+        }
+
+    plans: dict[str, dict] = {}
+    for period in range(periods):
+        plan = workload.plan(period)
+        plans[str(period)] = {
+            "messages": plan.message_count(),
+            "initial_customers": {
+                str(i): len(rows)
+                for i, rows in sorted(plan.initial_customers.items())
+            },
+            "ground_truth": {
+                "duplicate_pairs": sum(
+                    len(p) for p in plan.duplicate_pairs.values()
+                ),
+                "corrupted_rows": sum(
+                    len(k) for k in plan.corrupted_keys.values()
+                ),
+            },
+        }
+
+    return {
+        "format": MANIFEST_FORMAT,
+        "spec": spec.canonical(),
+        "spec_digest": spec.digest(),
+        "distribution": workload.f,
+        "families": list(spec.families),
+        "groups": [list(g) for g in workload.groups],
+        "dialects": {
+            str(d.index): {
+                "style": d.style,
+                "tables": dict(sorted(d.table_names.items())),
+            }
+            for d in workload.dialects
+        },
+        "databases": databases,
+        "services": sorted(workload.scenario.registry.service_names),
+        "processes": processes,
+        "plans": plans,
+    }
+
+
+def manifest_digest(manifest: dict) -> str:
+    """Stable content hash of a manifest (sorted-keys compact JSON)."""
+    payload = json.dumps(manifest, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def manifest_to_json(manifest: dict) -> str:
+    return json.dumps(manifest, indent=2, sort_keys=True)

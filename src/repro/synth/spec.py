@@ -1,0 +1,279 @@
+"""SynthSpec: the explicit knob space of the workload synthesizer.
+
+DIPBench fixes one landscape and 15 process types; DWEB argues a
+benchmark becomes far more useful when the workload itself is a
+parameterized generator.  A :class:`SynthSpec` is that parameterization:
+pure picklable data describing the *shape* of an integration scenario —
+source count, DAG depth and fan-out, transform mix, update/query ratio,
+scale, dirtiness — plus which process families to emit.
+
+Everything downstream (schemas, process graphs, message streams,
+schedules, ground truth) is a deterministic function of ``(spec, seed)``;
+:meth:`SynthSpec.digest` is the stable content hash of that function's
+input, and the scenario manifest digest (``repro.synth.manifest``) is the
+hash of its output.
+
+The compact knob-string form (``"sources=3,depth=2,families=cdc+scd"``)
+is what travels through ``RunSpec.synth``, the ``repro synth`` /
+``repro sweep --synth`` CLI, the grid axes, and the
+``dipbench.session/v1`` serve boundary.  Pair separator is ``","`` and
+the families list uses ``"+"`` (grid axis *values* are ``"/"``-separated
+precisely so knob strings can keep their commas).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+
+from repro.errors import ReproError
+
+#: The synthesized process families, in canonical order.
+#:
+#: * ``pipeline`` — classic E1 order feeds per source plus E2 multi-source
+#:   consolidation DAGs (depth/fan-out/transform-mix knobs apply here);
+#: * ``cdc``      — change-data-capture: an LSN-stamped change feed tapped
+#:   off the source tables' change observers, replicated into a replica DB;
+#: * ``scd``      — slowly-changing-dimension maintenance (type 1 + type 2)
+#:   against the synthesized warehouse schema;
+#: * ``dirty``    — Alaska-style dirty-data tasks: dedup/entity matching
+#:   over overlapping noisy sources and schema matching over heterogeneous
+#:   source dialects, with exact generated ground truth.
+FAMILIES = ("pipeline", "cdc", "scd", "dirty")
+
+_TRANSFORM_MIXES = ("relational", "xml", "balanced")
+
+#: Knob-string aliases → canonical field names.
+_ALIASES = {
+    "sources": "sources",
+    "depth": "depth",
+    "fan_out": "fan_out",
+    "fanout": "fan_out",
+    "transform_mix": "transform_mix",
+    "mix": "transform_mix",
+    "update_ratio": "update_ratio",
+    "update": "update_ratio",
+    "scale": "scale",
+    "noise": "noise",
+    "rounds": "rounds",
+    "messages": "messages",
+    "msgs": "messages",
+    "families": "families",
+    "seed": "seed",
+}
+
+
+class SynthSpecError(ReproError):
+    """Invalid synthesis knobs; ``problems`` lists every issue found."""
+
+    def __init__(self, problems: list[str]):
+        super().__init__("invalid synth spec: " + "; ".join(problems))
+        self.problems = list(problems)
+
+
+@dataclass(frozen=True)
+class SynthSpec:
+    """The knob space of one synthesized workload.
+
+    ``seed`` is optional: ``None`` means "inherit the run's seed"
+    (:meth:`resolve` fills it in), so the same knob string swept over
+    ``--seeds`` produces a different-but-deterministic scenario per seed.
+    """
+
+    #: Number of heterogeneous source systems (each gets its own schema
+    #: dialect and its own E1 message streams).
+    sources: int = 2
+    #: Extra transform stages in each consolidation DAG (DAG depth).
+    depth: int = 1
+    #: Sources consumed per consolidation process (DAG fan-in/fan-out).
+    fan_out: int = 2
+    #: What the extra stages do: "relational", "xml" (XML round-trips),
+    #: or "balanced" (alternating).
+    transform_mix: str = "relational"
+    #: Fraction of E1 messages that update existing entities instead of
+    #: inserting new ones (the update/query ratio knob).
+    update_ratio: float = 0.5
+    #: Multiplies population sizes and messages per stream.
+    scale: float = 1.0
+    #: Dirtiness: duplicate rate for entity matching, corruption rate for
+    #: cleansing, invalid-amount rate for row validation.
+    noise: float = 0.2
+    #: Rounds per benchmark period; each round runs the E1 streams and
+    #: then the dependent E2 processes, so SCD version churn and CDC
+    #: incremental pulls happen *within* one period.
+    rounds: int = 2
+    #: E1 messages per stream per round (before ``scale``).
+    messages: int = 3
+    #: Enabled process families, canonically ordered.
+    families: tuple[str, ...] = FAMILIES
+    #: Explicit generator seed; None inherits the RunSpec seed.
+    seed: int | None = None
+
+    # -- validation -------------------------------------------------------------
+
+    def validate(self) -> list[str]:
+        """Range-check every knob; returns all problems (empty = valid)."""
+        problems: list[str] = []
+        if not 1 <= self.sources <= 8:
+            problems.append(f"sources must be in [1, 8]: {self.sources}")
+        if not 0 <= self.depth <= 6:
+            problems.append(f"depth must be in [0, 6]: {self.depth}")
+        if not 1 <= self.fan_out <= 8:
+            problems.append(f"fan_out must be in [1, 8]: {self.fan_out}")
+        if self.transform_mix not in _TRANSFORM_MIXES:
+            problems.append(
+                f"transform_mix must be one of {_TRANSFORM_MIXES}: "
+                f"{self.transform_mix!r}"
+            )
+        if not 0.0 <= self.update_ratio <= 1.0:
+            problems.append(
+                f"update_ratio must be in [0, 1]: {self.update_ratio}"
+            )
+        if not 0.0 < self.scale <= 10.0:
+            problems.append(f"scale must be in (0, 10]: {self.scale}")
+        if not 0.0 <= self.noise <= 0.9:
+            problems.append(f"noise must be in [0, 0.9]: {self.noise}")
+        if not 1 <= self.rounds <= 6:
+            problems.append(f"rounds must be in [1, 6]: {self.rounds}")
+        if not 1 <= self.messages <= 64:
+            problems.append(f"messages must be in [1, 64]: {self.messages}")
+        if not self.families:
+            problems.append("families must name at least one family")
+        for family in self.families:
+            if family not in FAMILIES:
+                problems.append(
+                    f"unknown family {family!r}; choose from {FAMILIES}"
+                )
+        if len(set(self.families)) != len(self.families):
+            problems.append(f"duplicate families: {self.families}")
+        if self.seed is not None and self.seed < 0:
+            problems.append(f"seed must be >= 0: {self.seed}")
+        return problems
+
+    def assert_valid(self) -> "SynthSpec":
+        problems = self.validate()
+        if problems:
+            raise SynthSpecError(problems)
+        return self
+
+    # -- identity ---------------------------------------------------------------
+
+    def canonical(self) -> dict:
+        """Deterministic plain-JSON form (the digest input)."""
+        return {
+            "sources": self.sources,
+            "depth": self.depth,
+            "fan_out": self.fan_out,
+            "transform_mix": self.transform_mix,
+            "update_ratio": self.update_ratio,
+            "scale": self.scale,
+            "noise": self.noise,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "families": list(self.families),
+            "seed": self.seed,
+        }
+
+    def digest(self) -> str:
+        """Stable content hash over the canonical knob values.
+
+        Two specs share a digest iff every knob (including the resolved
+        seed) matches — the determinism contract's *input* identity.
+        """
+        payload = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def resolve(self, run_seed: int) -> "SynthSpec":
+        """Fill the inherited seed in; no-op when one was given."""
+        if self.seed is not None:
+            return self
+        return replace(self, seed=run_seed)
+
+    # -- the knob-string form ---------------------------------------------------
+
+    def to_string(self) -> str:
+        """Compact knob string listing the non-default knobs.
+
+        Round-trips through :meth:`parse`:
+        ``SynthSpec.parse(spec.to_string()) == spec``.
+        """
+        defaults = SynthSpec()
+        parts: list[str] = []
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if value == getattr(defaults, spec_field.name):
+                continue
+            if spec_field.name == "families":
+                parts.append("families=" + "+".join(value))
+            elif isinstance(value, float):
+                parts.append(f"{spec_field.name}={value:g}")
+            else:
+                parts.append(f"{spec_field.name}={value}")
+        return ",".join(parts)
+
+    @classmethod
+    def parse(cls, text: str) -> "SynthSpec":
+        """Parse a knob string; raises :class:`SynthSpecError` listing
+        *every* problem (unknown knobs, uncoercible values, range
+        violations) rather than stopping at the first."""
+        values, problems = _parse_pairs(text)
+        if problems:
+            raise SynthSpecError(problems)
+        spec = cls(**values)
+        return spec.assert_valid()
+
+
+def knob_problems(text: str) -> list[str]:
+    """Every problem with a knob string, without raising (serve boundary)."""
+    values, problems = _parse_pairs(text)
+    if problems:
+        return problems
+    return SynthSpec(**values).validate()
+
+
+_INT_KNOBS = {"sources", "depth", "fan_out", "rounds", "messages", "seed"}
+_FLOAT_KNOBS = {"update_ratio", "scale", "noise"}
+
+
+def _parse_pairs(text: str) -> tuple[dict, list[str]]:
+    values: dict = {}
+    problems: list[str] = []
+    for raw in filter(None, (p.strip() for p in text.split(","))):
+        key, sep, value = raw.partition("=")
+        key = key.strip()
+        if not sep:
+            problems.append(f"knob {raw!r} is not a key=value pair")
+            continue
+        name = _ALIASES.get(key)
+        if name is None:
+            problems.append(
+                f"unknown knob {key!r}; choose from "
+                + ", ".join(sorted(set(_ALIASES.values())))
+            )
+            continue
+        if name in values:
+            problems.append(f"knob {name!r} given more than once")
+            continue
+        value = value.strip()
+        if name == "families":
+            names = tuple(f for f in value.split("+") if f)
+            # Canonical order regardless of how the user listed them.
+            ordered = tuple(f for f in FAMILIES if f in names)
+            extras = tuple(f for f in names if f not in FAMILIES)
+            values[name] = ordered + extras
+        elif name == "transform_mix":
+            values[name] = value
+        elif name in _INT_KNOBS:
+            try:
+                values[name] = int(value)
+            except ValueError:
+                problems.append(f"knob {name}: not an integer: {value!r}")
+        elif name in _FLOAT_KNOBS:
+            try:
+                values[name] = float(value)
+            except ValueError:
+                problems.append(f"knob {name}: not a number: {value!r}")
+    return values, problems

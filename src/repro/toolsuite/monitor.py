@@ -188,18 +188,26 @@ class SweepRow:
     #: p95 instance latency (arrival → completion) in tu; 0 when the
     #: grid point produced no records.
     p95_latency_tu: float = 0.0
+    #: Synthesized-workload knob string; empty for classic grid points.
+    workload: str = ""
 
     def format(self) -> str:
         detail = (
             self.digest[:16] if self.status == "ok" else self.error_type
         )
-        return (
+        line = (
             f"{self.engine:<12}{self.datasize:>8g}{self.time:>6g}"
             f"{self.distribution:>3}{self.seed:>8}  {self.status:<8}"
             f"{self.instances:>7}{self.errors:>5}"
             f"{self.navg_plus_total:>12.2f}{self.p95_latency_tu:>10.2f}"
             f"  {detail}"
         )
+        # Classic rows stay byte-identical; synthesized grid points name
+        # their workload instead of leaving the reader to guess from
+        # SY-prefixed process ids.
+        if self.workload:
+            line += f"  workload={self.workload}"
+        return line
 
 
 def sweep_rows(outcomes: "Sequence[RunOutcome]") -> list[SweepRow]:
@@ -226,6 +234,7 @@ def sweep_rows(outcomes: "Sequence[RunOutcome]") -> list[SweepRow]:
                 digest=outcome.landscape_digest,
                 error_type=outcome.error_type,
                 p95_latency_tu=p95,
+                workload=getattr(outcome.spec, "synth", ""),
             )
         )
     return rows
@@ -358,6 +367,20 @@ class Monitor:
         """One period's NAVG+ metrics, reported in tu like :meth:`metrics`."""
         subset = [r for r in self.records if r.period == period]
         return self._scaled(compute_metrics(subset))
+
+    def family_table(self) -> str:
+        """Per-workload-family cost table (tu) over the absorbed records.
+
+        Groups synthesized process ids (``SYC0`` → ``cdc``) and classic
+        ones (``P05`` → ``consolidation``) by family, so reports over
+        generated workloads read in workload terms instead of raw ids.
+        Imported lazily: the Monitor stays usable without repro.synth.
+        """
+        from repro.synth.families import family_breakdown, format_family_table
+
+        return format_family_table(
+            family_breakdown(self.records, time_scale=self.time_scale)
+        )
 
     def latency_percentiles(
         self, points: Sequence[int] = LATENCY_POINTS

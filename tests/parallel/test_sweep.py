@@ -85,14 +85,14 @@ class TestExpandGrid:
         )
         keys = [s.grid_key() for s in specs]
         assert keys == [
-            ("interpreter", 0.02, 1.0, 0, 1),
-            ("interpreter", 0.02, 1.0, 0, 2),
-            ("interpreter", 0.05, 1.0, 0, 1),
-            ("interpreter", 0.05, 1.0, 0, 2),
-            ("federated", 0.02, 1.0, 0, 1),
-            ("federated", 0.02, 1.0, 0, 2),
-            ("federated", 0.05, 1.0, 0, 1),
-            ("federated", 0.05, 1.0, 0, 2),
+            ("interpreter", 0.02, 1.0, 0, 1, ""),
+            ("interpreter", 0.02, 1.0, 0, 2, ""),
+            ("interpreter", 0.05, 1.0, 0, 1, ""),
+            ("interpreter", 0.05, 1.0, 0, 2, ""),
+            ("federated", 0.02, 1.0, 0, 1, ""),
+            ("federated", 0.02, 1.0, 0, 2, ""),
+            ("federated", 0.05, 1.0, 0, 1, ""),
+            ("federated", 0.05, 1.0, 0, 2, ""),
         ]
 
     def test_common_fields_reach_every_spec(self):
@@ -244,10 +244,10 @@ class TestByteIdentity:
             o.spec.grid_key(): o.landscape_digest
             for o in serial_result.outcomes
         }
-        for (engine, d, t, f, seed), digest in by_key.items():
+        for (engine, d, t, f, seed, synth), digest in by_key.items():
             if engine != "interpreter":
                 continue
-            twin = by_key[("federated", d, t, f, seed)]
+            twin = by_key[("federated", d, t, f, seed, synth)]
             assert digest == twin
 
 

@@ -1,0 +1,100 @@
+"""The ``spec.synth`` knob at the dipbench.session/v1 serve boundary.
+
+Synthesized workloads travel through the same translator as every other
+spec field: strictly typed, strictly validated, with every knob problem
+folded into the single 400 the tenant sees.  The storm generator
+validates its shared knob string at config time and stamps it into
+every pooled spec document.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError, TranslationError
+from repro.serve import CONTRACT_V1, parse_session_request, spec_to_json
+from repro.serve.storm import StormConfig
+
+
+def _doc(**spec):
+    return {"contract": CONTRACT_V1, "tenant": "acme", "spec": spec}
+
+
+class TestTranslateSynth:
+    def test_valid_knob_string_reaches_the_spec(self):
+        request = parse_session_request(
+            _doc(synth="sources=3,families=cdc+scd", seed=9)
+        )
+        assert request.spec.synth == "sources=3,families=cdc+scd"
+        assert request.spec.seed == 9
+
+    def test_empty_default_means_classic_scenario(self):
+        assert parse_session_request(_doc()).spec.synth == ""
+
+    def test_synth_must_be_a_string(self):
+        with pytest.raises(TranslationError) as err:
+            parse_session_request(_doc(synth=3))
+        assert any(
+            "spec.synth: expected str" in p for p in err.value.problems
+        )
+
+    def test_every_knob_problem_lands_in_one_400(self):
+        with pytest.raises(TranslationError) as err:
+            parse_session_request(
+                _doc(synth="depth=99,noise=5,families=martian")
+            )
+        synth_problems = [
+            p for p in err.value.problems if p.startswith("spec.synth:")
+        ]
+        text = "\n".join(synth_problems)
+        assert len(synth_problems) == 3
+        assert "depth" in text and "noise" in text and "martian" in text
+
+    def test_knob_problems_fold_into_other_spec_problems(self):
+        with pytest.raises(TranslationError) as err:
+            parse_session_request(
+                _doc(engine="quantum", synth="depth=99")
+            )
+        problems = err.value.problems
+        assert any(p.startswith("spec.engine:") for p in problems)
+        assert any(p.startswith("spec.synth:") for p in problems)
+
+    def test_unknown_knob_rejected_not_dropped(self):
+        with pytest.raises(TranslationError) as err:
+            parse_session_request(_doc(synth="depht=2"))
+        assert any("unknown knob" in p for p in err.value.problems)
+
+    def test_spec_to_json_round_trips_synth(self):
+        spec = parse_session_request(_doc(synth="families=cdc")).spec
+        doc = spec_to_json(spec)
+        assert doc["synth"] == "families=cdc"
+        assert parse_session_request(
+            {"contract": CONTRACT_V1, "tenant": "a", "spec": doc}
+        ).spec == spec
+
+    def test_classic_spec_json_has_no_synth_field(self):
+        assert "synth" not in spec_to_json(parse_session_request(_doc()).spec)
+
+
+class TestStormSynth:
+    def test_pool_entries_carry_the_knobs_and_distinct_seeds(self):
+        config = StormConfig(
+            clients=4, distinct=3, synth="families=cdc,sources=1"
+        )
+        pool = config.spec_pool()
+        assert len(pool) == 3
+        assert all(d["synth"] == "families=cdc,sources=1" for d in pool)
+        assert len({d["seed"] for d in pool}) == 3
+
+    def test_classic_pool_has_no_synth_field(self):
+        assert all("synth" not in d for d in StormConfig().spec_pool())
+
+    def test_bad_knob_string_fails_at_config_time(self):
+        with pytest.raises(ServeError) as err:
+            StormConfig(synth="depth=99,bogus=1")
+        assert "depth" in str(err.value)
+
+    def test_pool_is_deterministic(self):
+        a = StormConfig(synth="families=dirty").spec_pool()
+        b = StormConfig(synth="families=dirty").spec_pool()
+        assert a == b

@@ -53,6 +53,14 @@ class TestExamples:
         assert "verification_ok=True" in out
         assert "serve share" in out
 
+    def test_synth_workload(self, capsys):
+        out = run_example("synth_workload.py", capsys)
+        assert "spec digest:" in out
+        assert "manifest digest:" in out
+        assert "verification OK" in out
+        assert "family" in out and "cdc" in out and "dirty" in out
+        assert "conformance OK" in out
+
     def test_examples_exist_and_have_docstrings(self):
         scripts = sorted(EXAMPLES.glob("*.py"))
         assert len(scripts) >= 5
