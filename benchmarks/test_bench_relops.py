@@ -1,30 +1,44 @@
 """Relational-kernel fast path: microbenchmarks and operation-count gates.
 
-Three families of evidence, all written to ``BENCH_relops.json``:
+Five families of evidence, all merged into ``BENCH_relops.json``:
 
 * wall-clock microbenchmarks of scan/select, join and group-by at the
   d=0.1 movement-data scale (~20k fact rows), fast path vs naive —
   the fast path must win by at least 3x on each;
+* the same shapes **vector vs scalar** within the fast path: the
+  columnar batch kernels (``repro.db.vector``) against the scalar
+  compiled-closure loops they replace, with a ≥2x floor on
+  scan/filter/group-by (the join is reported without a floor — its
+  production form is the index probe, which beats both);
 * deterministic operation counts (``rows_read``, ``db_rows_copied``,
   MV full-recompute count) under a fixed seeded workload — these are
   exact, machine-independent numbers, so CI gates on them instead of
   on timings;
+* a deterministic **batch operation-count gate** against the committed
+  golden fixture ``golden_vector_opcounts.json`` (regenerate with
+  ``--update-golden``): which kernels engaged, how many masks
+  compiled, zero scalar fallbacks;
 * incremental materialized-view maintenance on the scenario's real
   P03/P09 view shapes: one appended order fact must refresh OrdersMV
   without a full recompute.
 """
 
 import json
+import pathlib
 import random
 import time
 
 from benchmarks.conftest import run_cached, write_artifact
 
-from repro.db import Column, Database, TableSchema, col, fastpath, lit
+from repro.db import Column, Database, TableSchema, col, fastpath, lit, vector
 from repro.db.relation import Relation
 
 ARTIFACT = "BENCH_relops.json"
 SPEEDUP_FLOOR = 3.0
+VECTOR_SPEEDUP_FLOOR = 2.0
+GOLDEN_VECTOR_OPCOUNTS = (
+    pathlib.Path(__file__).parent / "golden_vector_opcounts.json"
+)
 N_FACT = 20_000  # the d=0.1 order-of-magnitude for one movement table
 N_GROUPS = 50
 N_PROBE = 2_000
@@ -37,6 +51,7 @@ RESULTS: dict = {
         "n_groups": N_GROUPS,
         "n_probe_rows": N_PROBE,
         "speedup_floor": SPEEDUP_FLOOR,
+        "vector_speedup_floor": VECTOR_SPEEDUP_FLOOR,
         "seed": 1,
     }
 }
@@ -194,6 +209,129 @@ def test_relops_operation_count_gate():
 
     RESULTS["operation_counts"] = counts
     flush_results()
+
+
+def plain_copy(relation: Relation) -> Relation:
+    """Detach a relation from its table snapshot (forces the hash/vector
+    join path instead of the index probe)."""
+    return Relation(relation.columns, [dict(r) for r in relation.rows])
+
+
+def test_vector_speedups(benchmark):
+    """Vector kernels vs the scalar fast-path loops they replace."""
+    db = build_fact_db()
+    pred = predicate()
+    with fastpath.enabled():
+        fact_rel = db.query("fact")
+        plain_left = plain_copy(probe_relation())
+        plain_right = plain_copy(fact_rel)
+
+    shapes = {
+        "scan": lambda: db.table("fact").scan(pred),
+        "filter": lambda: fact_rel.select(pred),
+        "group_by": lambda: fact_rel.group_by(("grp",), AGGREGATES),
+        "join": lambda: plain_left.join(plain_right, on=[("id", "id")]),
+    }
+
+    timings = {}
+    with fastpath.enabled():
+        for name, fn in shapes.items():
+            with vector.enabled(0):
+                fn()  # warm the mask cache and the columnar image
+                vectored = best_of(fn)
+            with vector.disabled():
+                scalar = best_of(fn)
+            timings[name] = {
+                "vector_ms": round(vectored * 1000.0, 3),
+                "scalar_ms": round(scalar * 1000.0, 3),
+                "speedup": round(scalar / vectored, 2),
+            }
+    RESULTS["vector_microbenchmarks"] = timings
+    flush_results()
+    print("\n" + json.dumps(timings, indent=2))
+
+    for name in ("scan", "filter", "group_by"):
+        assert timings[name]["speedup"] >= VECTOR_SPEEDUP_FLOOR, (
+            f"{name}: vector kernel only {timings[name]['speedup']}x over "
+            f"the scalar fast path (floor {VECTOR_SPEEDUP_FLOOR}x)"
+        )
+
+    with fastpath.enabled(), vector.enabled(0):
+        benchmark.pedantic(shapes["group_by"], rounds=3, iterations=1)
+
+
+def vector_workload_counts() -> dict:
+    """The batched shapes under a fixed seed; exact counter deltas."""
+    db = build_fact_db()
+    left = probe_relation()
+    pred = predicate()
+    with fastpath.enabled(), vector.enabled(0):
+        base = fastpath.STATS.copy()
+        scanned = db.table("fact").scan(pred)
+        fact_rel = db.query("fact")
+        filtered = fact_rel.select(pred)
+        plain_left = plain_copy(left)
+        plain_right = plain_copy(fact_rel)
+        joined = plain_left.join(plain_right, on=[("id", "id")])
+        index_joined = left.join(db.query("fact"), on=[("id", "id")])
+        grouped = fact_rel.group_by(("grp",), AGGREGATES)
+        delta = fastpath.STATS - base
+    return {
+        "cardinalities": {
+            "scan": len(scanned),
+            "filter": len(filtered),
+            "join": len(joined),
+            "index_join": len(index_joined),
+            "group_by": len(grouped),
+        },
+        "vector_filters": delta.vector_filters,
+        "vector_joins": delta.vector_joins,
+        "vector_group_bys": delta.vector_group_bys,
+        "vector_fallbacks": delta.vector_fallbacks,
+        "masks_compiled": delta.masks_compiled,
+        "column_builds": delta.column_builds,
+        "index_joins": delta.index_joins,
+        "hash_joins": delta.hash_joins,
+        "rows_copied": delta.rows_copied,
+        "rows_shared": delta.rows_shared,
+    }
+
+
+def test_vector_operation_count_gate(update_golden):
+    """Machine-independent CI gate on the batch kernels.
+
+    The workload is fully seeded, so every counter below is a constant
+    of the implementation: which kernels engaged (and that the index
+    probe still beats the vector join), how many masks compiled, and
+    that nothing fell back to the scalar loop.  Compared against the
+    committed ``golden_vector_opcounts.json``; regenerate after an
+    intentional kernel change with ``--update-golden``.
+    """
+    counts = vector_workload_counts()
+
+    # Structural invariants, independent of the golden numbers.
+    assert counts["vector_fallbacks"] == 0
+    assert counts["vector_filters"] == 2  # table scan + relation select
+    assert counts["vector_joins"] == 1  # the detached-copy join only
+    assert counts["vector_group_bys"] == 1
+    assert counts["index_joins"] == 1 and counts["hash_joins"] == 0
+    assert counts["cardinalities"]["scan"] == counts["cardinalities"]["filter"]
+    assert counts["cardinalities"]["join"] == counts["cardinalities"]["index_join"]
+
+    RESULTS["vector_operation_counts"] = counts
+    flush_results()
+
+    if update_golden:
+        GOLDEN_VECTOR_OPCOUNTS.write_text(
+            json.dumps(counts, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    assert GOLDEN_VECTOR_OPCOUNTS.exists(), (
+        f"golden fixture missing: {GOLDEN_VECTOR_OPCOUNTS} — generate it "
+        "with --update-golden"
+    )
+    golden = json.loads(GOLDEN_VECTOR_OPCOUNTS.read_text(encoding="utf-8"))
+    assert counts == golden
 
 
 def single_insert_refresh(database: Database) -> dict[str, int]:

@@ -1,0 +1,29 @@
+"""Repo-root pytest configuration shared by tests/ and benchmarks/.
+
+The ``--update-golden`` flag lives here (not in ``tests/conftest.py``)
+so one invocation can regenerate *every* golden regression fixture:
+the NAVG+ baselines under ``tests/metrics/`` and the vector op-count
+gate under ``benchmarks/`` — see docs/performance.md for the flow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden regression fixtures (the NAVG+ baselines "
+             "in tests/metrics/ and the vector operation-count gate in "
+             "benchmarks/) from the current run instead of comparing "
+             "against them",
+    )
+
+
+@pytest.fixture()
+def update_golden(request) -> bool:
+    """True when the run should rewrite golden fixtures, not check them."""
+    return request.config.getoption("--update-golden")

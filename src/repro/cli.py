@@ -38,6 +38,7 @@ import json
 import sys
 from typing import Sequence
 
+from repro.db import vector
 from repro.engine import ENGINES
 from repro.errors import FaultSpecError, ServeError
 from repro.ioutil import write_json_atomic, write_text_atomic
@@ -110,6 +111,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--checkpoint-every", type=float, metavar="TU",
                      help="checkpoint cadence in tu for "
                           "--durability snapshot+wal")
+    run.add_argument("--no-vector", action="store_true",
+                     help="disable the columnar batch kernels and run "
+                          "every relational operator on the scalar "
+                          "row-at-a-time fast path")
+    run.add_argument("--batch-threshold", type=int, metavar="ROWS",
+                     help="minimum input rows before the columnar batch "
+                          "kernels engage (default "
+                          f"{vector.DEFAULT_BATCH_THRESHOLD}; 0 = always "
+                          "batch)")
 
     sweep = commands.add_parser(
         "sweep",
@@ -233,6 +243,14 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--periods", type=int, default=2)
     profile.add_argument("--seed", type=int, default=42)
     profile.add_argument("--workers", type=int, default=4)
+    profile.add_argument("--no-vector", action="store_true",
+                         help="disable the columnar batch kernels "
+                              "(profile the scalar fast path)")
+    profile.add_argument("--batch-threshold", type=int, metavar="ROWS",
+                         help="minimum input rows before the columnar "
+                              "batch kernels engage (default "
+                              f"{vector.DEFAULT_BATCH_THRESHOLD}; "
+                              "0 = always batch)")
     profile.add_argument("--naive", action="store_true",
                          help="disable the relational fast path for this "
                               "run (baseline comparison)")
@@ -461,7 +479,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     scenario = build_scenario(jitter=args.jitter, seed=args.seed)
     engine = ENGINES[args.engine](
-        scenario.registry, worker_count=args.workers
+        scenario.registry, worker_count=args.workers,
+        batch_threshold=args.batch_threshold,
     )
     observability = (
         Observability() if (args.trace_out or args.metrics_out) else None
@@ -488,7 +507,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: invalid fault spec {args.faults}: {exc}",
               file=sys.stderr)
         return 2
-    result = client.run()
+    if args.no_vector:
+        with vector.disabled():
+            result = client.run()
+    else:
+        result = client.run()
 
     table = result.metrics.as_table()
     print(
@@ -956,7 +979,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             return 2
         workload = synthesize(synth_spec, f=args.distribution)
         engine = ENGINES[args.engine](
-            workload.scenario.registry, worker_count=args.workers
+            workload.scenario.registry, worker_count=args.workers,
+            batch_threshold=args.batch_threshold,
         )
         client = SynthClient(
             workload, engine, factors, periods=args.periods,
@@ -965,7 +989,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     else:
         scenario = build_scenario(seed=args.seed)
         engine = ENGINES[args.engine](
-            scenario.registry, worker_count=args.workers
+            scenario.registry, worker_count=args.workers,
+            batch_threshold=args.batch_threshold,
         )
         client = BenchmarkClient(
             scenario, engine, factors, periods=args.periods, seed=args.seed,
@@ -974,6 +999,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     stats_base = fastpath.STATS.copy()
     if args.naive:
         with fastpath.disabled():
+            result = client.run()
+    elif args.no_vector:
+        with vector.disabled():
             result = client.run()
     else:
         result = client.run()
@@ -984,7 +1012,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         op_kind = span.name.split(":", 1)[0]
         entry = breakdown.setdefault(
             op_kind,
-            {"count": 0, "cost": 0.0, "work": 0.0, "communication": 0.0},
+            {"count": 0, "cost": 0.0, "work": 0.0, "communication": 0.0,
+             "vectorized": 0, "fallbacks": 0},
         )
         entry["count"] += 1
         entry["cost"] += span.duration
@@ -996,8 +1025,24 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             for key, value in span.attributes.items()
             if key.startswith("work_")
         )
+        # Per-operator columnar activity (db_* attributes are the
+        # fast-path counter deltas the operator charged).
+        entry["vectorized"] += sum(
+            int(span.attributes.get(f"db_{counter}", 0))
+            for counter in (
+                "vector_filters", "vector_joins", "vector_group_bys"
+            )
+        )
+        entry["fallbacks"] += int(
+            span.attributes.get("db_vector_fallbacks", 0)
+        )
 
-    mode = "naive" if args.naive else "fast"
+    if args.naive:
+        mode = "naive"
+    elif args.no_vector:
+        mode = "fast-scalar"
+    else:
+        mode = "fast"
     print(
         f"engine={result.engine_name} d={args.datasize} t={args.time} "
         f"periods={result.periods} path={mode}"
@@ -1008,7 +1053,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print()
         print(client.monitor.family_table())
         print()
-    print(f"{'operator':<16}{'count':>8}{'cost':>12}{'work':>12}{'comm':>10}")
+    print(
+        f"{'operator':<16}{'count':>8}{'cost':>12}{'work':>12}{'comm':>10}"
+        f"{'vect':>8}{'fallb':>8}"
+    )
     for op_kind in sorted(
         breakdown, key=lambda k: breakdown[k]["cost"], reverse=True
     ):
@@ -1016,6 +1064,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(
             f"{op_kind:<16}{int(entry['count']):>8}{entry['cost']:>12.2f}"
             f"{entry['work']:>12.1f}{entry['communication']:>10.1f}"
+            f"{int(entry['vectorized']):>8}{int(entry['fallbacks']):>8}"
         )
     print("fast-path counters:")
     for key, value in stats.items():
@@ -1030,6 +1079,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             },
             "periods": result.periods,
             "path": mode,
+            "batch_threshold": vector.batch_threshold(),
             "operators": breakdown,
             "fastpath": stats,
         }

@@ -59,6 +59,18 @@ class FastpathStats:
     mv_full_recompute: int = 0
     #: Fact rows folded into MV snapshots by delta maintenance.
     mv_delta_rows: int = 0
+    #: Selections answered by a columnar bitmask instead of a row loop.
+    vector_filters: int = 0
+    #: Joins built and probed over column arrays instead of row dicts.
+    vector_joins: int = 0
+    #: Group-bys aggregated over gathered column arrays.
+    vector_group_bys: int = 0
+    #: Predicates lowered to fused mask kernels (cache misses).
+    masks_compiled: int = 0
+    #: Columnar table images (re)built from the row store.
+    column_builds: int = 0
+    #: Vectorized evaluations that fell back to the scalar row loop.
+    vector_fallbacks: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -34,7 +34,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import QueryError
-from repro.db import fastpath
+from repro.db import fastpath, vector
 from repro.db.expressions import Expression
 
 Row = dict[str, Any]
@@ -199,6 +199,12 @@ class Relation:
         if fastpath.is_enabled():
             if isinstance(predicate, Expression):
                 self._guard_expression(predicate)
+                if vector.should_batch(len(self.rows)):
+                    keep = vector.filter_rows(self, predicate)
+                    if keep is not None:
+                        return Relation.from_trusted(
+                            self.columns, keep, wide=self._wide
+                        )
                 fn = predicate.compile()
                 keep = [row for row in self.rows if fn(row) is True]
             else:
@@ -388,6 +394,17 @@ class Relation:
                 probe = table._probe_for(tuple(right_keys))
 
         if probe is None:
+            if (
+                fast
+                and not self._wide
+                and vector.should_batch(len(self.rows) + len(other.rows))
+            ):
+                batched = vector.join_rows(
+                    self, other, left_keys, right_keys, rename, how
+                )
+                if batched is not None:
+                    fastpath.STATS.rows_copied += len(batched)
+                    return Relation.from_trusted(out_columns, batched)
             if fast:
                 fastpath.STATS.hash_joins += 1
             index: dict[tuple, list[Row]] = {}
@@ -448,6 +465,12 @@ class Relation:
                 self._require_columns([in_col])
 
         if fastpath.is_enabled():
+            if vector.should_batch(len(self.rows)):
+                batched = vector.group_rows(self, keys, aggregates)
+                if batched is not None:
+                    out_columns, out_rows = batched
+                    fastpath.STATS.rows_copied += len(out_rows)
+                    return Relation.from_trusted(out_columns, out_rows)
             return self._group_by_fast(keys, aggregates)
 
         groups: dict[tuple, list[Row]] = {}

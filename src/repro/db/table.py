@@ -24,7 +24,7 @@ from bisect import insort
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import IntegrityError, QueryError, SchemaError
-from repro.db import fastpath
+from repro.db import fastpath, vector
 from repro.db.expressions import Expression
 from repro.db.relation import Relation, Row
 from repro.db.schema import TableSchema
@@ -80,6 +80,9 @@ class Table:
         #: record it so index-aware joins can tell whether the table has
         #: moved on since the snapshot was taken.
         self._generation = 0
+        #: Lazily transposed columnar image, valid for one generation.
+        self._column_cache: dict[str, Any] | None = None
+        self._column_cache_generation = -1
 
     # -- introspection -----------------------------------------------------------
 
@@ -475,6 +478,34 @@ class Table:
         fastpath.STATS.rows_copied += len(positions)
         return [dict(self._rows[p]) for p in positions]
 
+    def column_data(self) -> dict[str, Any]:
+        """The table as per-column value sequences (columnar image).
+
+        Lazily transposed from the row store and cached until the next
+        mutation bumps ``_generation``.  Purely a physical layout for
+        the vector kernels: building it never charges ``rows_read``
+        (callers charge logical reads exactly as the scalar path does).
+        Values are the stored objects by reference, except numeric
+        columns optionally packed value-exactly under
+        ``REPRO_VECTOR_ARRAY=1`` (see :func:`repro.db.vector.pack_column`).
+        """
+        if (
+            self._column_cache is not None
+            and self._column_cache_generation == self._generation
+        ):
+            return self._column_cache
+        fastpath.STATS.column_builds += 1
+        rows = self._rows
+        image: dict[str, Any] = {}
+        for column in self.schema.columns:
+            name = column.name
+            image[name] = vector.pack_column(
+                column.sql_type, [row[name] for row in rows]
+            )
+        self._column_cache = image
+        self._column_cache_generation = self._generation
+        return image
+
     def scan(
         self, predicate: Expression | Callable[[Row], Any] | None = None
     ) -> list[Row]:
@@ -484,6 +515,11 @@ class Table:
             if predicate is None:
                 rows = list(self._rows)
             elif isinstance(predicate, Expression):
+                if vector.should_batch(len(self._rows)):
+                    batched = vector.filter_table(self, predicate)
+                    if batched is not None:
+                        fastpath.STATS.rows_shared += len(batched)
+                        return batched
                 fn = predicate.compile()
                 rows = [r for r in self._rows if fn(r) is True]
             else:

@@ -21,7 +21,7 @@ from repro.errors import (
     EngineError,
     TransientEngineFault,
 )
-from repro.db import fastpath
+from repro.db import fastpath, vector
 from repro.db.expressions import Expression
 from repro.engine.costs import CostBreakdown, CostParameters
 from repro.mtm.context import ExecutionContext
@@ -136,9 +136,14 @@ class IntegrationEngine:
         parallel_efficiency: float = 1.0,
         observability: Observability | None = None,
         resilience: "ResilienceContext | None" = None,
+        batch_threshold: int | None = None,
     ):
         if worker_count < 1:
             raise EngineError(f"worker count must be >= 1, got {worker_count}")
+        if batch_threshold is not None and batch_threshold < 0:
+            raise EngineError(
+                f"batch threshold must be >= 0, got {batch_threshold}"
+            )
         if not 0.0 <= parallel_efficiency <= 1.0:
             raise EngineError(
                 f"parallel efficiency must be in [0, 1]: {parallel_efficiency}"
@@ -152,6 +157,10 @@ class IntegrationEngine:
         self.cost_parameters = costs or CostParameters()
         self.worker_count = worker_count
         self.parallel_efficiency = parallel_efficiency
+        #: Minimum input size before the columnar batch kernels engage
+        #: (see :mod:`repro.db.vector`); None keeps the process default.
+        #: Applied at deploy time so one engine configures the whole run.
+        self.batch_threshold = batch_threshold
         self._processes: dict[str, ProcessType] = {}
         self._next_instance_id = 1
         #: Completion times of busy workers (virtual-time worker pool).
@@ -237,6 +246,8 @@ class IntegrationEngine:
 
     def deploy(self, process: ProcessType) -> None:
         """Validate and install one process type."""
+        if self.batch_threshold is not None:
+            vector.set_batch_threshold(self.batch_threshold)
         if process.process_id in self._processes:
             raise DeploymentError(
                 f"{self.engine_name}: {process.process_id} already deployed"
@@ -258,30 +269,37 @@ class IntegrationEngine:
         per plan — the interpreter's "plan cache", and the federated
         engine's analogue of preparing trigger/procedure bodies —
         instead of the first instance of each type paying compilation.
-        A no-op on the naive path.
+        Predicates are additionally lowered to columnar mask kernels
+        (``repro.db.vector.warm_mask``) so the batch path never compiles
+        mid-run either.  A no-op on the naive path.
         """
         if not fastpath.is_enabled():
             return
+
+        def warm(expression: Expression) -> None:
+            expression.compile()
+            vector.warm_mask(expression)
+
         for node in process.root.iter_tree():
             for value in vars(node).values():
                 if isinstance(value, Expression):
-                    value.compile()
+                    warm(value)
                 elif isinstance(value, Mapping):
                     for item in value.values():
                         if isinstance(item, Expression):
-                            item.compile()
+                            warm(item)
                 elif isinstance(value, (list, tuple)):
                     for item in value:
                         if isinstance(item, Expression):
-                            item.compile()
+                            warm(item)
                         else:  # e.g. SwitchCase guards
                             guard = getattr(item, "guard", None)
                             if isinstance(guard, Expression):
-                                guard.compile()
+                                warm(guard)
                 else:  # e.g. Invoke request builders carrying a predicate
                     embedded = getattr(value, "predicate", None)
                     if isinstance(embedded, Expression):
-                        embedded.compile()
+                        warm(embedded)
 
     def deploy_all(self, processes: Iterable[ProcessType]) -> None:
         for process in processes:
@@ -718,6 +736,7 @@ class IntegrationEngine:
                     attributes={
                         "communication": observation.communication,
                         **{f"work_{k}": v for k, v in observation.work.items()},
+                        **{f"db_{k}": v for k, v in observation.fastpath.items()},
                     },
                 )
                 calls = observation.network_calls

@@ -80,6 +80,7 @@ class EaiEngine(MtmInterpreterEngine):
         trace: bool = False,
         observability: Observability | None = None,
         resilience: "ResilienceContext | None" = None,
+        batch_threshold: int | None = None,
     ):
         super().__init__(
             registry,
@@ -90,6 +91,7 @@ class EaiEngine(MtmInterpreterEngine):
             trace,
             observability=observability,
             resilience=resilience,
+            batch_threshold=batch_threshold,
         )
 
 
@@ -114,6 +116,7 @@ class EtlEngine(MtmInterpreterEngine):
         trace: bool = False,
         observability: Observability | None = None,
         resilience: "ResilienceContext | None" = None,
+        batch_threshold: int | None = None,
     ):
         super().__init__(
             registry,
@@ -124,6 +127,7 @@ class EtlEngine(MtmInterpreterEngine):
             trace,
             observability=observability,
             resilience=resilience,
+            batch_threshold=batch_threshold,
         )
 
     def _execute_instance(self, process, event, queue_length):

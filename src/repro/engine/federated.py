@@ -54,6 +54,7 @@ class FederatedEngine(IntegrationEngine):
         trace: bool = False,
         observability: Observability | None = None,
         resilience: "ResilienceContext | None" = None,
+        batch_threshold: int | None = None,
     ):
         super().__init__(
             registry,
@@ -63,6 +64,7 @@ class FederatedEngine(IntegrationEngine):
             parallel_efficiency,
             observability=observability,
             resilience=resilience,
+            batch_threshold=batch_threshold,
         )
         #: The engine's own catalog: queue tables, triggers, procedures.
         self.internal_db = Database("federation_catalog")

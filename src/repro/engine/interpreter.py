@@ -39,6 +39,7 @@ class MtmInterpreterEngine(IntegrationEngine):
         trace: bool = False,
         observability: Observability | None = None,
         resilience: "ResilienceContext | None" = None,
+        batch_threshold: int | None = None,
     ):
         super().__init__(
             registry,
@@ -48,6 +49,7 @@ class MtmInterpreterEngine(IntegrationEngine):
             parallel_efficiency,
             observability=observability,
             resilience=resilience,
+            batch_threshold=batch_threshold,
         )
         self.trace = trace
         #: Trace logs of completed instances, when tracing is on.

@@ -72,9 +72,11 @@ class Operator:
         communication_before = context.communication_cost
         network_log = context.network_log
         calls_before = len(network_log) if network_log is not None else 0
+        fastpath_before = fastpath.STATS.copy()
         try:
             self.execute(context)
         finally:
+            fastpath_delta = fastpath.STATS - fastpath_before
             log.append(
                 OperatorObservation(
                     kind=self.kind,
@@ -89,6 +91,11 @@ class Operator:
                     network_calls=list(network_log[calls_before:])
                     if network_log is not None
                     else [],
+                    fastpath={
+                        key: value
+                        for key, value in fastpath_delta.snapshot().items()
+                        if value
+                    },
                 )
             )
 

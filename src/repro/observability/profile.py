@@ -34,6 +34,10 @@ class OperatorObservation:
     #: Communication cost charged while the operator ran.
     communication: float = 0.0
     network_calls: list[NetworkObservation] = field(default_factory=list)
+    #: Relational-kernel counter deltas attributed to this operator
+    #: (non-zero ``repro.db.fastpath`` entries only — e.g. index probes,
+    #: vectorized filter/join/group-by batches, scalar fallbacks).
+    fastpath: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass

@@ -1,0 +1,585 @@
+"""Cost-based join planning over collected table statistics.
+
+PR 5's :func:`~repro.optimizer.rules.route_joins_through_indexes` picks
+access paths purely by *rule*: any join whose right side is an
+index-covered extract gets the index hint, regardless of cardinality.
+This module replaces that as the planning entry point with a classic
+System-R-style pass driven by statistics:
+
+* :func:`collect_statistics` scans a :class:`~repro.db.database.Database`
+  (without charging ``rows_read`` — statistics collection is a DBA
+  action, not benchmark work) into per-table
+  :class:`TableStatistics`: row counts, per-column distinct/NULL
+  counts, and exact distinct counts over each pk/index key;
+* :func:`selectivity` estimates predicate selectivity from those
+  counts (``1/ndv`` for equality, the textbook ``1/3`` for ranges,
+  exact NULL fractions for IS [NOT] NULL, the usual independence
+  combinators for AND/OR/NOT);
+* :func:`plan_process` walks a process tree, finds left-deep chains of
+  Join steps whose right sides are table extracts, and reorders each
+  chain to minimize the modeled cost ``Σ (|left| + |right| + |out|)``
+  over all orders — then annotates index hints exactly like the rule
+  it replaces.  When no statistics are supplied it *degrades to the
+  rule-based rewrite* (with an index catalog) or returns the process
+  unchanged (without), flagging the fallback on the report.
+
+Reordering is applied only when it provably preserves semantics: every
+join in the chain is inner/left, every right side is unique on its key
+(so no row duplication and left row order survives), every join keys
+off base-input columns (so no join consumes another's output columns),
+and intermediate outputs are private to the chain.  One visible
+degree of freedom remains: the *column order* of the chain's output
+relation follows join order.  Row content, multiplicity and row order
+are invariant — which is what every sink in the kernel keys on — and
+the plan-invariance property tests in
+``tests/optimizer/test_cost_planner.py`` pin exactly that.
+
+Like the PR 5 rewrites, planning is opt-in (ablations, tests,
+``repro profile``): the default benchmark run never replans, so NAVG+
+and the golden fixtures stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from itertools import permutations
+from typing import TYPE_CHECKING, Mapping
+
+from repro.db.expressions import BinaryOp, ColumnRef, Expression, Literal, UnaryOp
+from repro.mtm.blocks import Fork, Sequence, Switch, SwitchCase
+from repro.mtm.operators import Invoke, Join, Operator
+from repro.mtm.process import ProcessType
+from repro.optimizer.rules import (
+    IndexCatalog,
+    OptimizationReport,
+    _op_reads_writes,
+    route_joins_through_indexes,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.database import Database
+
+#: Textbook default selectivity for range comparisons (System R).
+RANGE_SELECTIVITY = 1.0 / 3.0
+#: Fallback selectivity for predicates the model cannot decompose.
+DEFAULT_SELECTIVITY = 0.5
+#: Assumed cardinality of a chain input that is not a table extract.
+DEFAULT_INPUT_ROWS = 100.0
+#: Chains longer than this are ordered greedily instead of exhaustively.
+MAX_EXHAUSTIVE_CHAIN = 6
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """Collected statistics for one table (the planner's cost inputs)."""
+
+    table: str
+    rows: int
+    columns: tuple[str, ...]
+    #: Per column: distinct count over non-NULL values.
+    distinct: Mapping[str, int]
+    #: Per column: NULL count.
+    nulls: Mapping[str, int]
+    #: Index name -> covered columns ("pk" for the primary key).
+    indexes: Mapping[str, tuple[str, ...]]
+    #: Per index key (sorted column tuple): distinct count over rows
+    #: with no NULL key part, and the count of rows with any NULL part.
+    key_distinct: Mapping[tuple[str, ...], tuple[int, int]]
+
+    def ndv(self, column: str) -> int:
+        return self.distinct.get(column, 0)
+
+    def unique_on(self, key_columns: tuple[str, ...]) -> bool:
+        """Whether no two joinable rows share a value on ``key_columns``.
+
+        NULL-keyed rows never join, so uniqueness only needs to hold
+        over rows whose key parts are all non-NULL.
+        """
+        if len(key_columns) == 1:
+            column = key_columns[0]
+            if column not in self.distinct:
+                return False
+            return self.distinct[column] == self.rows - self.nulls.get(column, 0)
+        entry = self.key_distinct.get(tuple(sorted(key_columns)))
+        if entry is None:
+            return False
+        distinct, null_rows = entry
+        return distinct == self.rows - null_rows
+
+
+#: What the planner consumes: table name -> statistics.
+StatisticsCatalog = Mapping[str, TableStatistics]
+
+
+def collect_statistics(database: "Database") -> dict[str, TableStatistics]:
+    """Scan a database into a :class:`StatisticsCatalog`.
+
+    Reads rows through the uncounted iteration path so collection never
+    perturbs the :class:`~repro.db.database.DatabaseStatistics` I/O
+    counters the cost model charges benchmark work to.
+    """
+    catalog: dict[str, TableStatistics] = {}
+    for table_name in database.table_names:
+        table = database.table(table_name)
+        columns = tuple(table.schema.column_names)
+        rows = list(table)
+        distinct: dict[str, int] = {}
+        nulls: dict[str, int] = {}
+        for column in columns:
+            values = [row[column] for row in rows]
+            null_count = sum(1 for v in values if v is None)
+            nulls[column] = null_count
+            distinct[column] = len({v for v in values if v is not None})
+        indexes: dict[str, tuple[str, ...]] = {}
+        if table.schema.primary_key:
+            indexes["pk"] = tuple(table.schema.primary_key)
+        for index_name in table.index_names:
+            indexes[index_name] = table.index_columns(index_name)
+        key_distinct: dict[tuple[str, ...], tuple[int, int]] = {}
+        for key_columns in indexes.values():
+            sorted_key = tuple(sorted(key_columns))
+            if sorted_key in key_distinct:
+                continue
+            keys = [tuple(row[c] for c in key_columns) for row in rows]
+            null_rows = sum(1 for k in keys if any(part is None for part in k))
+            key_distinct[sorted_key] = (
+                len({k for k in keys if not any(part is None for part in k)}),
+                null_rows,
+            )
+        catalog[table_name] = TableStatistics(
+            table=table_name,
+            rows=len(rows),
+            columns=columns,
+            distinct=distinct,
+            nulls=nulls,
+            indexes=indexes,
+            key_distinct=key_distinct,
+        )
+    return catalog
+
+
+def merge_catalogs(*catalogs: StatisticsCatalog) -> dict[str, TableStatistics]:
+    """Merge per-database catalogs (later entries win on name clashes)."""
+    merged: dict[str, TableStatistics] = {}
+    for catalog in catalogs:
+        merged.update(catalog)
+    return merged
+
+
+def index_catalog_of(statistics: StatisticsCatalog) -> dict[str, dict[str, tuple[str, ...]]]:
+    """Derive a rules-compatible :data:`IndexCatalog` from statistics."""
+    return {
+        name: dict(stats.indexes) for name, stats in statistics.items()
+    }
+
+
+# -- selectivity ---------------------------------------------------------------
+
+
+def selectivity(stats: TableStatistics, predicate: Expression | None) -> float:
+    """Estimated fraction of rows satisfying ``predicate``."""
+    if predicate is None:
+        return 1.0
+    return max(0.0, min(1.0, _selectivity(stats, predicate)))
+
+
+def _column_of(expr: Expression) -> str | None:
+    return expr.name if isinstance(expr, ColumnRef) else None
+
+
+def _selectivity(stats: TableStatistics, predicate: Expression) -> float:
+    if isinstance(predicate, BinaryOp):
+        if predicate.op == "AND":
+            return _selectivity(stats, predicate.left) * _selectivity(
+                stats, predicate.right
+            )
+        if predicate.op == "OR":
+            left = _selectivity(stats, predicate.left)
+            right = _selectivity(stats, predicate.right)
+            return left + right - left * right
+        column = _column_of(predicate.left) or _column_of(predicate.right)
+        if column is None or column not in stats.distinct:
+            return DEFAULT_SELECTIVITY
+        if predicate.op == "=":
+            other = (
+                predicate.right
+                if isinstance(predicate.left, ColumnRef)
+                else predicate.left
+            )
+            if isinstance(other, Literal) and other.value is None:
+                return 0.0  # ``= NULL`` is never TRUE
+            return 1.0 / max(1, stats.ndv(column))
+        if predicate.op == "<>":
+            return 1.0 - 1.0 / max(1, stats.ndv(column))
+        if predicate.op in ("<", "<=", ">", ">="):
+            return RANGE_SELECTIVITY
+        return DEFAULT_SELECTIVITY
+    if isinstance(predicate, UnaryOp):
+        if predicate.op == "NOT":
+            return 1.0 - _selectivity(stats, predicate.operand)
+        column = _column_of(predicate.operand)
+        if column is not None and stats.rows > 0 and column in stats.nulls:
+            null_fraction = stats.nulls[column] / stats.rows
+            if predicate.op == "IS NULL":
+                return null_fraction
+            if predicate.op == "IS NOT NULL":
+                return 1.0 - null_fraction
+        return DEFAULT_SELECTIVITY
+    if isinstance(predicate, Literal):
+        if predicate.value is True:
+            return 1.0
+        if predicate.value is False or predicate.value is None:
+            return 0.0
+    return DEFAULT_SELECTIVITY
+
+
+# -- plan report ---------------------------------------------------------------
+
+
+@dataclass
+class PlanReport(OptimizationReport):
+    """Everything :func:`plan_process` decided, rule fields included."""
+
+    joins_reordered: int = 0
+    #: Estimated output cardinality per reordered chain output variable.
+    estimates: dict[str, float] = field(default_factory=dict)
+    #: Why the cost-based pass did not run (None when it did).
+    fallback: str | None = None
+
+    @classmethod
+    def from_rules(cls, base: OptimizationReport, fallback: str) -> "PlanReport":
+        values = {f.name: getattr(base, f.name) for f in fields(OptimizationReport)}
+        return cls(**values, fallback=fallback)
+
+
+# -- join-chain planning --------------------------------------------------------
+
+
+@dataclass
+class _Extract:
+    """One query Invoke seen earlier in the step list."""
+
+    table: str
+    predicate: Expression | None
+    est_rows: float
+    table_rows: int
+
+
+@dataclass
+class _ChainJoin:
+    """One reorderable join: its operator plus modeled quantities."""
+
+    join: Join
+    right_est: float
+    right_rows: int
+    match_fraction: float
+    original_position: int
+
+
+def _query_extracts(
+    steps: list[Operator], statistics: StatisticsCatalog
+) -> dict[str, _Extract]:
+    extracts: dict[str, _Extract] = {}
+    for op in steps:
+        if (
+            isinstance(op, Invoke)
+            and getattr(op.request_builder, "kind", "") == "query"
+            and op.output
+        ):
+            table = op.request_builder.table
+            stats = statistics.get(table)
+            if stats is None:
+                continue
+            predicate = getattr(op.request_builder, "predicate", None)
+            extracts[op.output] = _Extract(
+                table=table,
+                predicate=predicate,
+                est_rows=stats.rows * selectivity(stats, predicate),
+                table_rows=stats.rows,
+            )
+    return extracts
+
+
+def _chain_cost(base_rows: float, chain: list[_ChainJoin]) -> float:
+    """Modeled cost of one join order: Σ (|left| + |right| + |out|)."""
+    cost = 0.0
+    left = base_rows
+    for step in chain:
+        if step.join.how == "inner":
+            out = left * min(1.0, step.match_fraction)
+        else:  # left join against a unique right: row-preserving
+            out = left
+        cost += left + step.right_est + out
+        left = out
+    return cost
+
+
+def _order_chain(
+    base_rows: float, chain: list[_ChainJoin]
+) -> tuple[list[_ChainJoin], float]:
+    """The cost-minimal order; deterministic original-order tie-break."""
+    if len(chain) > MAX_EXHAUSTIVE_CHAIN:
+        ordered = sorted(
+            chain, key=lambda s: (s.match_fraction, s.original_position)
+        )
+        return ordered, _chain_cost(base_rows, ordered)
+    best = chain
+    best_cost = _chain_cost(base_rows, chain)
+    for candidate in permutations(chain):
+        cost = _chain_cost(base_rows, list(candidate))
+        if cost < best_cost - 1e-12:
+            best = list(candidate)
+            best_cost = cost
+    return list(best), best_cost
+
+
+def _chain_is_safe(
+    chain: list[_ChainJoin],
+    extracts: dict[str, _Extract],
+    statistics: StatisticsCatalog,
+    outside_reads: set[str],
+) -> bool:
+    """Reordering preserves row content, order and multiplicity.
+
+    Requires: inner/left joins only; every right side unique on its key
+    (each left row matches at most one right row, so neither row order
+    nor multiplicity can change); every join's left keys untouched by
+    the other joins' payload columns (no join consumes another's
+    output); intermediate outputs private to the chain.
+    """
+    payload_columns: list[set[str]] = []
+    for step in chain:
+        join = step.join
+        if join.how not in ("inner", "left"):
+            return False
+        extract = extracts[join.right]
+        stats = statistics[extract.table]
+        right_keys = tuple(right for _, right in join.on)
+        if not stats.unique_on(right_keys):
+            return False
+        payload_columns.append(set(stats.columns) - set(right_keys))
+    for index, step in enumerate(chain):
+        left_keys = {left for left, _ in step.join.on}
+        for other_index, payload in enumerate(payload_columns):
+            if other_index != index and left_keys & payload:
+                return False
+    intermediates = {step.join.output for step in chain[:-1]}
+    return not (intermediates & outside_reads)
+
+
+def _plan_steps(
+    steps: list[Operator],
+    report: PlanReport,
+    statistics: StatisticsCatalog,
+) -> list[Operator]:
+    extracts = _query_extracts(steps, statistics)
+
+    # Locate maximal left-deep chains: consecutive Joins where each
+    # join's left input is the previous join's output and every right
+    # input is a statistics-covered table extract.
+    out: list[Operator] = []
+    index = 0
+    while index < len(steps):
+        op = steps[index]
+        if not (isinstance(op, Join) and op.right in extracts):
+            out.append(op)
+            index += 1
+            continue
+        chain: list[_ChainJoin] = []
+        cursor = index
+        current_output = None
+        while cursor < len(steps):
+            candidate = steps[cursor]
+            if not (
+                isinstance(candidate, Join)
+                and candidate.right in extracts
+                and (current_output is None or candidate.left == current_output)
+            ):
+                break
+            extract = extracts[candidate.right]
+            stats = statistics[extract.table]
+            fraction = (
+                extract.est_rows / extract.table_rows
+                if extract.table_rows
+                else 0.0
+            )
+            chain.append(
+                _ChainJoin(
+                    join=candidate,
+                    right_est=extract.est_rows,
+                    right_rows=extract.table_rows,
+                    match_fraction=fraction,
+                    original_position=len(chain),
+                )
+            )
+            current_output = candidate.output
+            cursor += 1
+
+        if len(chain) < 2:
+            out.append(op)
+            index += 1
+            continue
+
+        chain_ops = {step.join for step in chain}
+        outside_reads: set[str] = set()
+        for other in steps:
+            if isinstance(other, Join) and other in chain_ops:
+                continue
+            reads, _ = _op_reads_writes(other)
+            outside_reads |= reads
+
+        base_var = chain[0].join.left
+        base_extract = extracts.get(base_var)
+        base_rows = (
+            base_extract.est_rows if base_extract is not None else DEFAULT_INPUT_ROWS
+        )
+
+        if not _chain_is_safe(chain, extracts, statistics, outside_reads):
+            report.notes.append(
+                f"chain at {chain[0].join.name or chain[0].join.output}: "
+                "not provably order-independent; order kept"
+            )
+            out.extend(step.join for step in chain)
+            index = cursor
+            continue
+
+        ordered, cost = _order_chain(base_rows, chain)
+        output_names = [step.join.output for step in chain]
+        reordered = [step.original_position for step in ordered] != list(
+            range(len(chain))
+        )
+        left_var = base_var
+        for position, step in enumerate(ordered):
+            new_join = Join(
+                left_var,
+                step.join.right,
+                output_names[position],
+                step.join.on,
+                how=step.join.how,
+                name=step.join.name,
+            )
+            new_join.index_hint = step.join.index_hint
+            out.append(new_join)
+            left_var = output_names[position]
+        report.estimates[output_names[-1]] = _chain_out_rows(base_rows, ordered)
+        if reordered:
+            report.joins_reordered += 1
+            report.notes.append(
+                "reordered join chain ending at "
+                f"{output_names[-1]} to {[s.join.right for s in ordered]} "
+                f"(modeled cost {cost:.1f})"
+            )
+        index = cursor
+    return out
+
+
+def _chain_out_rows(base_rows: float, chain: list[_ChainJoin]) -> float:
+    left = base_rows
+    for step in chain:
+        if step.join.how == "inner":
+            left = left * min(1.0, step.match_fraction)
+    return left
+
+
+def _route_hints(
+    steps: list[Operator], report: PlanReport, statistics: StatisticsCatalog
+) -> list[Operator]:
+    """Index-hint annotation, the cost pass's version of the old rule."""
+    extracts: dict[str, str] = {}
+    out: list[Operator] = []
+    for op in steps:
+        if (
+            isinstance(op, Invoke)
+            and getattr(op.request_builder, "kind", "") == "query"
+            and getattr(op.request_builder, "predicate", None) is None
+            and op.output
+        ):
+            extracts[op.output] = op.request_builder.table
+        elif (
+            isinstance(op, Join)
+            and op.index_hint is None
+            and op.right in extracts
+            and extracts[op.right] in statistics
+        ):
+            stats = statistics[extracts[op.right]]
+            right_cols = frozenset(right for _, right in op.on)
+            for index_name, index_cols in stats.indexes.items():
+                if frozenset(index_cols) == right_cols:
+                    routed = Join(
+                        op.left, op.right, op.output, op.on, how=op.how, name=op.name
+                    )
+                    routed.index_hint = f"{stats.table}.{index_name}"
+                    op = routed
+                    report.joins_routed += 1
+                    report.notes.append(
+                        f"routed join {op.name or op.output} through "
+                        f"{routed.index_hint}"
+                    )
+                    break
+        out.append(op)
+    return out
+
+
+def _plan_tree(
+    op: Operator, report: PlanReport, statistics: StatisticsCatalog
+) -> Operator:
+    if isinstance(op, Sequence):
+        steps = [_plan_tree(step, report, statistics) for step in op.steps]
+        steps = _plan_steps(steps, report, statistics)
+        steps = _route_hints(steps, report, statistics)
+        return Sequence(steps, name=op.name)
+    if isinstance(op, Switch):
+        cases = [
+            SwitchCase(
+                case.guard, _plan_tree(case.body, report, statistics), case.label
+            )
+            for case in op.cases
+        ]
+        otherwise = (
+            _plan_tree(op.otherwise, report, statistics)
+            if op.otherwise is not None
+            else None
+        )
+        return Switch(cases, otherwise, name=op.name)
+    if isinstance(op, Fork):
+        return Fork(
+            [_plan_tree(branch, report, statistics) for branch in op.branches],
+            name=op.name,
+        )
+    return op
+
+
+def plan_process(
+    process: ProcessType,
+    statistics: StatisticsCatalog | None = None,
+    index_catalog: IndexCatalog | None = None,
+) -> tuple[ProcessType, PlanReport]:
+    """Cost-based planning with graceful degradation.
+
+    With ``statistics``: reorder join chains by modeled cost and
+    annotate index hints (superseding the rule-based routing).  With
+    only ``index_catalog``: fall back to
+    :func:`~repro.optimizer.rules.route_joins_through_indexes`
+    unchanged.  With neither: return the process as-is.  The report's
+    ``fallback`` field says which degradation (if any) happened.
+    """
+    if statistics:
+        report = PlanReport()
+        new_root = _plan_tree(process.root, report, statistics)
+        planned = ProcessType(
+            process.process_id,
+            process.group,
+            process.description,
+            process.event_type,
+            new_root,
+            subprocess_only=process.subprocess_only,
+        )
+        return planned, report
+    if index_catalog is not None:
+        routed, base = route_joins_through_indexes(process, index_catalog)
+        return routed, PlanReport.from_rules(
+            base, "no statistics; degraded to rule-based index routing"
+        )
+    return process, PlanReport(
+        fallback="no statistics or index catalog; plan unchanged"
+    )

@@ -1,4 +1,8 @@
-"""Shared fixtures: a small scenario, engines, populations, factories."""
+"""Shared fixtures: a small scenario, engines, populations, factories.
+
+The ``--update-golden`` option and its ``update_golden`` fixture live in
+the repo-root ``conftest.py`` so ``benchmarks/`` shares them.
+"""
 
 from __future__ import annotations
 
@@ -9,23 +13,6 @@ from repro.engine import FederatedEngine, MtmInterpreterEngine
 from repro.scenario import build_processes, build_scenario
 from repro.scenario.messages import MessageFactory
 from repro.toolsuite import BenchmarkClient, Initializer, ScaleFactors
-
-
-def pytest_addoption(parser):
-    parser.addoption(
-        "--update-golden",
-        action="store_true",
-        default=False,
-        help="rewrite the golden regression fixtures (e.g. the NAVG+ "
-             "baselines in tests/metrics/) from the current run instead "
-             "of comparing against them",
-    )
-
-
-@pytest.fixture()
-def update_golden(request) -> bool:
-    """True when the run should rewrite golden fixtures, not check them."""
-    return request.config.getoption("--update-golden")
 
 
 @pytest.fixture()

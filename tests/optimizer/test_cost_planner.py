@@ -1,0 +1,320 @@
+"""Property tests for the cost-based planner (``repro.optimizer.cost``).
+
+Three properties pin the planner's contract:
+
+* **optimality** — on statistics-covered join chains the emitted order
+  minimizes the module's own cost model ``Σ (|left| + |right| + |out|)``
+  over *all* permutations (brute-forced here, independently of the
+  planner's search);
+* **graceful degradation** — without statistics the planner reproduces
+  the rule-based ``route_joins_through_indexes`` rewrite exactly, and
+  without any catalog it returns the process unchanged, flagging the
+  fallback either way;
+* **plan invariance** — across seeded random databases and random join
+  chains, executing the planned process yields exactly the rows of the
+  original process (content, order and multiplicity; only the output
+  relation's *column order* may differ, and these chains share one
+  column set so even that is fixed).
+"""
+
+import random
+from itertools import permutations
+
+import pytest
+
+from repro.db import Column, Database, TableSchema, col, lit
+from repro.mtm.blocks import Sequence
+from repro.mtm.operators import Invoke, Join
+from repro.mtm.process import EventType, ProcessGroup, ProcessType
+from repro.optimizer import (
+    collect_statistics,
+    index_catalog_of,
+    plan_process,
+    route_joins_through_indexes,
+    selectivity,
+)
+from repro.scenario.processes import helpers
+
+
+def make_process(steps, process_id="P90"):
+    return ProcessType(
+        process_id,
+        ProcessGroup.B,
+        "cost-planner fixture",
+        EventType.E2_SCHEDULE,
+        Sequence(steps, name="body"),
+    )
+
+
+def extract(table, output, predicate=None):
+    return Invoke(
+        "svc",
+        helpers.query_request(table, predicate=predicate),
+        output=output,
+        name=f"get_{output}",
+    )
+
+
+def join_steps(process):
+    return [op for op in process.root.steps if isinstance(op, Join)]
+
+
+def run_steps(process, db):
+    """Mini step-interpreter: Invoke extracts + Joins over ``db``."""
+    env = {}
+    for op in process.root.steps:
+        if isinstance(op, Invoke):
+            builder = op.request_builder
+            env[op.output] = db.query(builder.table, predicate=builder.predicate)
+        elif isinstance(op, Join):
+            env[op.output] = env[op.left].join(
+                env[op.right], on=list(op.on), how=op.how
+            )
+    return env
+
+
+# ------------------------------------------------------------------ fixtures
+
+
+def star_database(rng, fact_rows=60, dims=3, dim_keys=10):
+    """A fact table with ``dims`` pk-unique dimensions (random content)."""
+    db = Database("plan")
+    fact_columns = [Column("orderkey", "INTEGER", nullable=False)]
+    for d in range(dims):
+        fact_columns.append(Column(f"fk{d}", "INTEGER"))
+    fact_columns.append(Column("val", "DOUBLE"))
+    db.create_table(
+        TableSchema("fact", fact_columns, primary_key=("orderkey",))
+    )
+    for i in range(fact_rows):
+        row = {"orderkey": i, "val": rng.choice([-1.0, 0.0, 2.5, 9.0])}
+        for d in range(dims):
+            row[f"fk{d}"] = rng.choice([None] + list(range(dim_keys)))
+        db.insert("fact", row)
+    for d in range(dims):
+        db.create_table(
+            TableSchema(
+                f"dim{d}",
+                [
+                    Column(f"key{d}", "INTEGER", nullable=False),
+                    Column(f"p{d}", "INTEGER"),
+                ],
+                primary_key=(f"key{d}",),
+            )
+        )
+        for key in range(dim_keys):
+            db.insert(f"dim{d}", {f"key{d}": key, f"p{d}": rng.randrange(100)})
+    return db
+
+
+def random_dim_predicate(rng, d):
+    column = col(f"p{d}")
+    kind = rng.randrange(4)
+    if kind == 0:
+        return None
+    if kind == 1:
+        return column == lit(rng.randrange(100))
+    if kind == 2:
+        return column > lit(rng.randrange(100))
+    return (column >= lit(10)) & (column < lit(rng.randrange(11, 100)))
+
+
+def star_process(rng, dims=3, hows=None):
+    steps = [extract("fact", "f")]
+    predicates = []
+    for d in range(dims):
+        predicate = random_dim_predicate(rng, d)
+        predicates.append(predicate)
+        steps.append(extract(f"dim{d}", f"d{d}", predicate=predicate))
+    left = "f"
+    for d in range(dims):
+        how = hows[d] if hows else rng.choice(["inner", "inner", "left"])
+        steps.append(
+            Join(left, f"d{d}", f"j{d}", [(f"fk{d}", f"key{d}")], how=how)
+        )
+        left = f"j{d}"
+    return make_process(steps)
+
+
+def brute_force_best_cost(process, statistics):
+    """Minimal chain cost over all join orders, via the model's formulas."""
+    extracts = {}
+    for op in process.root.steps:
+        if isinstance(op, Invoke):
+            builder = op.request_builder
+            stats = statistics[builder.table]
+            est = stats.rows * selectivity(stats, builder.predicate)
+            extracts[op.output] = (est, stats.rows)
+    base_rows = extracts["f"][0]
+    joins = join_steps(process)
+
+    def cost_of(order):
+        cost, left = 0.0, base_rows
+        for op in order:
+            est, rows = extracts[op.right]
+            fraction = est / rows if rows else 0.0
+            out = left * min(1.0, fraction) if op.how == "inner" else left
+            cost += left + est + out
+            left = out
+        return cost
+
+    return min(cost_of(list(order)) for order in permutations(joins)), cost_of(
+        joins
+    )
+
+
+# ---------------------------------------------------------------- optimality
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_planned_order_minimizes_the_cost_model(seed):
+    """Property: the emitted order is brute-force optimal."""
+    rng = random.Random(seed)
+    db = star_database(rng)
+    process = star_process(rng)
+    statistics = collect_statistics(db)
+    planned, report = plan_process(process, statistics=statistics)
+    assert report.fallback is None
+
+    best, original = brute_force_best_cost(process, statistics)
+    # Recost the *planned* order with the original extracts: the planned
+    # joins keep their right inputs, only the sequence changed.
+    planned_rights = [op.right for op in join_steps(planned)]
+    original_by_right = {op.right: op for op in join_steps(process)}
+    reordered = make_process(
+        [op for op in process.root.steps if isinstance(op, Invoke)]
+        + [original_by_right[right] for right in planned_rights]
+    )
+    _, planned_cost = brute_force_best_cost(reordered, statistics)
+    assert planned_cost == pytest.approx(best)
+    if planned_cost < original - 1e-9:
+        assert report.joins_reordered == 1
+
+
+def test_selective_dimension_joins_first():
+    """A 1-in-ndv equality extract must move to the front of the chain."""
+    rng = random.Random(99)
+    db = star_database(rng, fact_rows=200, dim_keys=50)
+    steps = [
+        extract("fact", "f"),
+        extract("dim0", "d0"),  # unfiltered: 50 rows
+        extract("dim1", "d1", predicate=col("p1") == lit(3)),  # ~1 row
+        Join("f", "d0", "j0", [("fk0", "key0")]),
+        Join("j0", "d1", "j1", [("fk1", "key1")]),
+    ]
+    planned, report = plan_process(
+        make_process(steps), statistics=collect_statistics(db)
+    )
+    assert [op.right for op in join_steps(planned)] == ["d1", "d0"]
+    assert report.joins_reordered == 1
+    # Positional output names survive, so downstream readers are unmoved.
+    assert [op.output for op in join_steps(planned)] == ["j0", "j1"]
+    assert "j1" in report.estimates
+
+
+def test_unsafe_chain_keeps_original_order():
+    """A right side not unique on its key blocks reordering."""
+    rng = random.Random(5)
+    db = star_database(rng)
+    # Duplicate a dim0 key: dim0 is no longer unique on key0.
+    db.insert("dim0", {"key0": 100, "p0": 1})
+    db.create_table(
+        TableSchema(
+            "dup0",
+            [Column("key0", "INTEGER"), Column("q0", "INTEGER")],
+        )
+    )
+    for key in (1, 1, 2):
+        db.insert("dup0", {"key0": key, "q0": key})
+    steps = [
+        extract("fact", "f"),
+        extract("dup0", "d0"),
+        extract("dim1", "d1", predicate=col("p1") == lit(3)),
+        Join("f", "d0", "j0", [("fk0", "key0")]),
+        Join("j0", "d1", "j1", [("fk1", "key1")]),
+    ]
+    planned, report = plan_process(
+        make_process(steps), statistics=collect_statistics(db)
+    )
+    assert [op.right for op in join_steps(planned)] == ["d0", "d1"]
+    assert report.joins_reordered == 0
+    assert any("order kept" in note for note in report.notes)
+
+
+# ------------------------------------------------------------- degradation
+
+
+def test_degrades_to_rule_based_routing_without_statistics():
+    rng = random.Random(3)
+    db = star_database(rng)
+    process = star_process(rng, hows=["inner", "inner", "inner"])
+    statistics = collect_statistics(db)
+    catalog = index_catalog_of(statistics)
+
+    planned, report = plan_process(process, index_catalog=catalog)
+    routed, rule_report = route_joins_through_indexes(process, catalog)
+
+    assert report.fallback == (
+        "no statistics; degraded to rule-based index routing"
+    )
+    assert report.joins_reordered == 0
+    assert report.joins_routed == rule_report.joins_routed
+    assert [op.right for op in join_steps(planned)] == [
+        op.right for op in join_steps(routed)
+    ]
+    assert [op.index_hint for op in join_steps(planned)] == [
+        op.index_hint for op in join_steps(routed)
+    ]
+
+
+def test_no_catalog_is_a_flagged_no_op():
+    rng = random.Random(4)
+    process = star_process(rng)
+    planned, report = plan_process(process)
+    assert planned is process
+    assert report.fallback == "no statistics or index catalog; plan unchanged"
+    assert report.total_rewrites == 0
+
+
+def test_cost_pass_annotates_index_hints_like_the_rule():
+    """With statistics, unfiltered extracts still get the pk hint."""
+    rng = random.Random(6)
+    db = star_database(rng)
+    process = star_process(rng, hows=["inner", "inner", "inner"])
+    statistics = collect_statistics(db)
+    planned, report = plan_process(process, statistics=statistics)
+    hinted = {
+        op.right: op.index_hint
+        for op in join_steps(planned)
+        if op.index_hint is not None
+    }
+    # Only unfiltered extracts are hintable (filtered ones are no longer
+    # table-backed snapshots); each hint names the dimension's pk.
+    for right, hint in hinted.items():
+        d = right[1:]
+        assert hint == f"dim{d}.pk"
+    assert report.joins_routed == len(hinted)
+
+
+# ---------------------------------------------------------- plan invariance
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_plan_invariance_random_queries(seed):
+    """Property: planning never changes what a query returns."""
+    rng = random.Random(1000 + seed)
+    dims = rng.choice([2, 3])
+    db = star_database(
+        rng,
+        fact_rows=rng.randrange(0, 80),
+        dims=dims,
+        dim_keys=rng.choice([4, 10, 25]),
+    )
+    process = star_process(rng, dims=dims)
+    planned, _ = plan_process(process, statistics=collect_statistics(db))
+
+    original_env = run_steps(process, db)
+    planned_env = run_steps(planned, db)
+    final = f"j{dims - 1}"
+    assert set(planned_env[final].columns) == set(original_env[final].columns)
+    assert planned_env[final].to_dicts() == original_env[final].to_dicts()
