@@ -10,6 +10,7 @@ tables and figures are inspectable after the run.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -24,6 +25,52 @@ from repro.scenario import build_scenario
 from repro.toolsuite import BenchmarkClient, ScaleFactors
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: One committed line per benchmark outcome, merged by key so re-runs
+#: update rows in place instead of growing the file without bound.
+LEDGER_PATH = RESULTS_DIR / "LEDGER.jsonl"
+
+
+def ledger_append(key: str, summary: dict) -> pathlib.Path:
+    """Merge one ``{"key": key, **summary}`` row into the ledger.
+
+    The ledger is JSONL with exactly one row per key: an existing row
+    with the same key is replaced in place (file order is preserved),
+    a new key is appended.  Idempotent — re-running a benchmark never
+    duplicates its row.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    entries: dict[str, dict] = {}
+    order: list[str] = []
+    if LEDGER_PATH.exists():
+        for line in LEDGER_PATH.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            row = json.loads(line)
+            existing_key = row.get("key", "")
+            if existing_key not in entries:
+                order.append(existing_key)
+            entries[existing_key] = row
+    if key not in entries:
+        order.append(key)
+    entries[key] = {"key": key, **summary}
+    LEDGER_PATH.write_text(
+        "".join(json.dumps(entries[k], sort_keys=True) + "\n" for k in order),
+        encoding="utf-8",
+    )
+    return LEDGER_PATH
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Record every benchmark test's call-phase outcome in the ledger."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call":
+        ledger_append(
+            item.nodeid,
+            {"outcome": report.outcome, "seconds": round(report.duration, 3)},
+        )
 
 #: (engine, datasize, time, distribution, periods, jitter) -> BenchmarkResult
 _RUN_CACHE: dict = {}

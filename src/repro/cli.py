@@ -38,6 +38,7 @@ import json
 import sys
 from typing import Sequence
 
+from repro.db import partition as db_partition
 from repro.db import vector
 from repro.engine import ENGINES
 from repro.errors import FaultSpecError, ServeError
@@ -120,6 +121,11 @@ def _build_parser() -> argparse.ArgumentParser:
                           "kernels engage (default "
                           f"{vector.DEFAULT_BATCH_THRESHOLD}; 0 = always "
                           "batch)")
+    run.add_argument("--mem-budget", type=int, metavar="ROWS",
+                     help="per-database resident-row budget: tables "
+                          "partition and spill cold partitions to disk "
+                          "past this many rows (default unlimited; env "
+                          "REPRO_MEM_BUDGET)")
 
     sweep = commands.add_parser(
         "sweep",
@@ -152,6 +158,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--durability", choices=("off",) + DURABILITY_MODES,
                        default="off")
     sweep.add_argument("--checkpoint-every", type=float, metavar="TU")
+    sweep.add_argument("--mem-budget", type=int, metavar="ROWS",
+                       help="per-database resident-row budget applied "
+                            "to every grid point (spillable disk-backed "
+                            "partitions; results stay byte-identical)")
     sweep.add_argument("--no-verify", action="store_true",
                        help="skip phase-post verification per grid point")
     sweep.add_argument("--out", metavar="FILE.json",
@@ -251,6 +261,10 @@ def _build_parser() -> argparse.ArgumentParser:
                               "batch kernels engage (default "
                               f"{vector.DEFAULT_BATCH_THRESHOLD}; "
                               "0 = always batch)")
+    profile.add_argument("--mem-budget", type=int, metavar="ROWS",
+                         help="per-database resident-row budget (spill "
+                              "partitions past it); adds partition_* "
+                              "spill counters to the report")
     profile.add_argument("--naive", action="store_true",
                          help="disable the relational fast path for this "
                               "run (baseline comparison)")
@@ -481,6 +495,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     engine = ENGINES[args.engine](
         scenario.registry, worker_count=args.workers,
         batch_threshold=args.batch_threshold,
+        mem_budget=args.mem_budget,
     )
     observability = (
         Observability() if (args.trace_out or args.metrics_out) else None
@@ -608,6 +623,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             verify=not args.no_verify,
             collect_metrics=bool(args.metrics_out),
+            mem_budget=args.mem_budget,
         )
         executor = SweepExecutor(workers=args.workers)
     except (SweepError, ValueError) as exc:
@@ -981,6 +997,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         engine = ENGINES[args.engine](
             workload.scenario.registry, worker_count=args.workers,
             batch_threshold=args.batch_threshold,
+            mem_budget=args.mem_budget,
         )
         client = SynthClient(
             workload, engine, factors, periods=args.periods,
@@ -991,12 +1008,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         engine = ENGINES[args.engine](
             scenario.registry, worker_count=args.workers,
             batch_threshold=args.batch_threshold,
+            mem_budget=args.mem_budget,
         )
         client = BenchmarkClient(
             scenario, engine, factors, periods=args.periods, seed=args.seed,
             observability=observability,
         )
     stats_base = fastpath.STATS.copy()
+    partition_base = db_partition.STATS.copy()
     if args.naive:
         with fastpath.disabled():
             result = client.run()
@@ -1006,6 +1025,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     else:
         result = client.run()
     stats = (fastpath.STATS - stats_base).snapshot()
+    partition_stats = {
+        key: value
+        for key, value in (db_partition.STATS - partition_base)
+        .snapshot()
+        .items()
+        if value
+    }
 
     breakdown: dict[str, dict[str, float]] = {}
     for span in observability.tracer.spans_of_kind("operator"):
@@ -1069,6 +1095,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print("fast-path counters:")
     for key, value in stats.items():
         print(f"  {key:<20}{value:>10}")
+    if partition_stats:
+        print("partition spill counters:")
+        for key, value in partition_stats.items():
+            print(f"  {key:<20}{value:>10}")
     if args.out:
         payload = {
             "engine": result.engine_name,
@@ -1080,8 +1110,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             "periods": result.periods,
             "path": mode,
             "batch_threshold": vector.batch_threshold(),
+            "mem_budget": args.mem_budget,
             "operators": breakdown,
             "fastpath": stats,
+            "partition": partition_stats,
         }
         if args.synth:
             payload["workload"] = args.synth

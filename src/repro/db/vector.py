@@ -57,7 +57,7 @@ from functools import lru_cache
 from itertools import compress
 from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
 
-from repro.db import fastpath
+from repro.db import fastpath, partition
 from repro.db.expressions import (
     _BINARY_OPS,
     BinaryOp,
@@ -392,6 +392,13 @@ def filter_rows(relation: "Relation", predicate: Expression) -> list["Row"] | No
     if not kernel.columns:
         fastpath.STATS.vector_filters += 1
         return list(rows) if kernel.constant else []
+    view = partition.spilled_view(rows)
+    if view is not None and all(
+        name in relation.columns for name in kernel.columns
+    ):
+        return partition.partitioned_filter(
+            view.store, kernel, limit=len(view)
+        )
     columns = _resolve_columns(relation, kernel.columns)
     if columns is None:
         return None
@@ -416,6 +423,12 @@ def filter_table(table: "Table", predicate: Expression) -> list["Row"] | None:
     schema_columns = table.schema.column_names
     if any(name not in schema_columns for name in kernel.columns):
         return None  # scalar loop raises the exact unknown-column error
+    store = partition.store_of(table)
+    if store is not None:
+        # Budget-governed table: filter partition-by-partition over the
+        # per-partition column slices (cached on the partitions), never
+        # materializing a whole-table columnar image.
+        return partition.partitioned_filter(store, kernel)
     data = table.column_data()
     try:
         mask = kernel.fn(*(data[name] for name in kernel.columns))

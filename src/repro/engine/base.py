@@ -21,7 +21,7 @@ from repro.errors import (
     EngineError,
     TransientEngineFault,
 )
-from repro.db import fastpath, vector
+from repro.db import fastpath, partition, vector
 from repro.db.expressions import Expression
 from repro.engine.costs import CostBreakdown, CostParameters
 from repro.mtm.context import ExecutionContext
@@ -137,12 +137,17 @@ class IntegrationEngine:
         observability: Observability | None = None,
         resilience: "ResilienceContext | None" = None,
         batch_threshold: int | None = None,
+        mem_budget: int | None = None,
     ):
         if worker_count < 1:
             raise EngineError(f"worker count must be >= 1, got {worker_count}")
         if batch_threshold is not None and batch_threshold < 0:
             raise EngineError(
                 f"batch threshold must be >= 0, got {batch_threshold}"
+            )
+        if mem_budget is not None and mem_budget < 1:
+            raise EngineError(
+                f"memory budget must be >= 1 row, got {mem_budget}"
             )
         if not 0.0 <= parallel_efficiency <= 1.0:
             raise EngineError(
@@ -161,6 +166,11 @@ class IntegrationEngine:
         #: (see :mod:`repro.db.vector`); None keeps the process default.
         #: Applied at deploy time so one engine configures the whole run.
         self.batch_threshold = batch_threshold
+        #: Per-database resident-row budget for spillable table
+        #: partitions (see :mod:`repro.db.partition`); None keeps plain
+        #: fully-resident storage.  Applied by the clients to every
+        #: scenario database, mirroring batch_threshold's knob shape.
+        self.mem_budget = mem_budget
         self._processes: dict[str, ProcessType] = {}
         self._next_instance_id = 1
         #: Completion times of busy workers (virtual-time worker pool).
@@ -180,6 +190,7 @@ class IntegrationEngine:
         #: Fast-path counter snapshot taken when profiling was armed,
         #: so _capture_profile can attribute kernel work per instance.
         self._profile_fastpath_base = fastpath.STATS.copy()
+        self._profile_partition_base = partition.STATS.copy()
         #: Retry/backoff + fault-injection context (attached by the
         #: BenchmarkClient, like observability); None = fail-fast, the
         #: exact pre-resilience behavior.
@@ -227,19 +238,28 @@ class IntegrationEngine:
             context.operator_log = []
             context.network_log = []
             self._profile_fastpath_base = fastpath.STATS.copy()
+            self._profile_partition_base = partition.STATS.copy()
 
     def _capture_profile(self, context: ExecutionContext) -> None:
         """Stash the context's logs for the span emission in handle_event."""
         if context.operator_log is not None:
             delta = fastpath.STATS - self._profile_fastpath_base
+            counters = {
+                key: value
+                for key, value in delta.snapshot().items()
+                if value
+            }
+            # Spill activity rides in the same per-instance counter dict
+            # under a partition_ prefix; unbudgeted runs spill nothing,
+            # so their profile payloads stay byte-identical.
+            spill_delta = partition.STATS - self._profile_partition_base
+            for key, value in spill_delta.snapshot().items():
+                if value:
+                    counters[f"partition_{key}"] = value
             self._last_profile = ExecutionProfile(
                 operators=context.operator_log,
                 network_calls=context.network_log or [],
-                fastpath={
-                    key: value
-                    for key, value in delta.snapshot().items()
-                    if value
-                },
+                fastpath=counters,
             )
 
     # -- deployment -----------------------------------------------------------

@@ -81,6 +81,7 @@ class EaiEngine(MtmInterpreterEngine):
         observability: Observability | None = None,
         resilience: "ResilienceContext | None" = None,
         batch_threshold: int | None = None,
+        mem_budget: int | None = None,
     ):
         super().__init__(
             registry,
@@ -92,6 +93,7 @@ class EaiEngine(MtmInterpreterEngine):
             observability=observability,
             resilience=resilience,
             batch_threshold=batch_threshold,
+            mem_budget=mem_budget,
         )
 
 
@@ -117,6 +119,7 @@ class EtlEngine(MtmInterpreterEngine):
         observability: Observability | None = None,
         resilience: "ResilienceContext | None" = None,
         batch_threshold: int | None = None,
+        mem_budget: int | None = None,
     ):
         super().__init__(
             registry,
@@ -128,6 +131,7 @@ class EtlEngine(MtmInterpreterEngine):
             observability=observability,
             resilience=resilience,
             batch_threshold=batch_threshold,
+            mem_budget=mem_budget,
         )
 
     def _execute_instance(self, process, event, queue_length):

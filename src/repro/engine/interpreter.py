@@ -40,6 +40,7 @@ class MtmInterpreterEngine(IntegrationEngine):
         observability: Observability | None = None,
         resilience: "ResilienceContext | None" = None,
         batch_threshold: int | None = None,
+        mem_budget: int | None = None,
     ):
         super().__init__(
             registry,
@@ -50,6 +51,7 @@ class MtmInterpreterEngine(IntegrationEngine):
             observability=observability,
             resilience=resilience,
             batch_threshold=batch_threshold,
+            mem_budget=mem_budget,
         )
         self.trace = trace
         #: Trace logs of completed instances, when tracing is on.

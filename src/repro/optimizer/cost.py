@@ -68,6 +68,13 @@ DEFAULT_INPUT_ROWS = 100.0
 #: Chains longer than this are ordered greedily instead of exhaustively.
 MAX_EXHAUSTIVE_CHAIN = 6
 
+#: Modeled cost multiplier for re-faulting spilled rows: probing a
+#: partially-spilled table charges ``weight × rows × (1 − resident)``
+#: on top of the row costs, pushing the planner toward joining resident
+#: (or co-partitioned) tables first.  Fully-resident tables charge 0,
+#: so unbudgeted plans are unchanged.
+SPILL_REACCESS_WEIGHT = 2.0
+
 
 @dataclass(frozen=True)
 class TableStatistics:
@@ -85,6 +92,11 @@ class TableStatistics:
     #: Per index key (sorted column tuple): distinct count over rows
     #: with no NULL key part, and the count of rows with any NULL part.
     key_distinct: Mapping[tuple[str, ...], tuple[int, int]]
+    #: Physical partition count (1 = monolithic plain-list storage).
+    partitions: int = 1
+    #: Fraction of rows currently memory-resident (1.0 = fully resident;
+    #: < 1.0 means probing this table may fault spilled partitions in).
+    resident_fraction: float = 1.0
 
     def ndv(self, column: str) -> int:
         return self.distinct.get(column, 0)
@@ -146,6 +158,11 @@ def collect_statistics(database: "Database") -> dict[str, TableStatistics]:
                 len({k for k in keys if not any(part is None for part in k)}),
                 null_rows,
             )
+        store = table.partition_store
+        partitions = store.partition_count if store is not None else 1
+        resident_fraction = 1.0
+        if store is not None and len(rows):
+            resident_fraction = store.resident_rows / len(rows)
         catalog[table_name] = TableStatistics(
             table=table_name,
             rows=len(rows),
@@ -154,6 +171,8 @@ def collect_statistics(database: "Database") -> dict[str, TableStatistics]:
             nulls=nulls,
             indexes=indexes,
             key_distinct=key_distinct,
+            partitions=partitions,
+            resident_fraction=resident_fraction,
         )
     return catalog
 
@@ -274,6 +293,9 @@ class _ChainJoin:
     right_rows: int
     match_fraction: float
     original_position: int
+    #: Extra modeled cost for probing a partially-spilled right table
+    #: (0.0 when fully resident, keeping in-memory plans unchanged).
+    spill_penalty: float = 0.0
 
 
 def _query_extracts(
@@ -309,7 +331,7 @@ def _chain_cost(base_rows: float, chain: list[_ChainJoin]) -> float:
             out = left * min(1.0, step.match_fraction)
         else:  # left join against a unique right: row-preserving
             out = left
-        cost += left + step.right_est + out
+        cost += left + step.right_est + step.spill_penalty + out
         left = out
     return cost
 
@@ -410,6 +432,9 @@ def _plan_steps(
                     right_rows=extract.table_rows,
                     match_fraction=fraction,
                     original_position=len(chain),
+                    spill_penalty=SPILL_REACCESS_WEIGHT
+                    * extract.table_rows
+                    * (1.0 - stats.resident_fraction),
                 )
             )
             current_output = candidate.output
@@ -433,6 +458,21 @@ def _plan_steps(
         base_rows = (
             base_extract.est_rows if base_extract is not None else DEFAULT_INPUT_ROWS
         )
+
+        # Co-partitioned preference: a spilled right side laid out with
+        # the same partition count as the probe side streams
+        # bucket-aligned through the grace join, so its re-fault cost is
+        # halved relative to an arbitrarily-partitioned table.
+        if base_extract is not None:
+            base_partitions = statistics[base_extract.table].partitions
+            if base_partitions > 1:
+                for step in chain:
+                    if step.spill_penalty > 0.0:
+                        right_stats = statistics[
+                            extracts[step.join.right].table
+                        ]
+                        if right_stats.partitions == base_partitions:
+                            step.spill_penalty *= 0.5
 
         if not _chain_is_safe(chain, extracts, statistics, outside_reads):
             report.notes.append(

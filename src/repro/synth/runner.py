@@ -67,6 +67,10 @@ class SynthClient:
             self.scenario.registry.network.bind_metrics(
                 self.observability.metrics
             )
+        mem_budget = getattr(engine, "mem_budget", None)
+        if mem_budget is not None:
+            for db in self.scenario.all_databases.values():
+                db.set_memory_budget(mem_budget)
         self.monitor = Monitor(
             time_scale=self.factors.time, observability=self.observability
         )
@@ -97,7 +101,9 @@ class SynthClient:
             synth_spec, f=spec.distribution, jitter=spec.jitter
         )
         engine = ENGINES[spec.engine](
-            workload.scenario.registry, worker_count=spec.engine_workers
+            workload.scenario.registry,
+            worker_count=spec.engine_workers,
+            mem_budget=spec.mem_budget,
         )
         observability = None
         if spec.collect_metrics or spec.collect_trace:

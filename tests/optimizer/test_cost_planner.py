@@ -318,3 +318,91 @@ def test_plan_invariance_random_queries(seed):
     final = f"j{dims - 1}"
     assert set(planned_env[final].columns) == set(original_env[final].columns)
     assert planned_env[final].to_dicts() == original_env[final].to_dicts()
+
+
+# ---------------------------------------------------- partition awareness
+
+
+def test_statistics_capture_partition_residency():
+    """Budgeted tables report partition count + resident fraction."""
+    rng = random.Random(5)
+    db = star_database(rng, fact_rows=120)
+    plain = collect_statistics(db)
+    assert plain["fact"].partitions == 1
+    assert plain["fact"].resident_fraction == 1.0
+
+    db.set_memory_budget(40, partition_rows=16)
+    budgeted = collect_statistics(db)
+    assert budgeted["fact"].partitions > 1
+    assert 0.0 < budgeted["fact"].resident_fraction < 1.0
+    # Logical statistics are untouched by the physical knob.
+    assert budgeted["fact"].rows == plain["fact"].rows
+    assert budgeted["fact"].distinct == plain["fact"].distinct
+
+
+def test_spill_penalty_never_changes_the_logical_plan():
+    """The penalty is physical: same join order with and without it."""
+    rng = random.Random(7)
+    resident_db = star_database(rng, fact_rows=120)
+    rng = random.Random(7)
+    spilled_db = star_database(rng, fact_rows=120)
+    spilled_db.set_memory_budget(30, partition_rows=16)
+
+    rng = random.Random(7)
+    process = star_process(rng)
+    planned_resident, report_r = plan_process(
+        process, statistics=collect_statistics(resident_db)
+    )
+    planned_spilled, report_s = plan_process(
+        process, statistics=collect_statistics(spilled_db)
+    )
+    assert report_r.fallback is None and report_s.fallback is None
+    order_r = [op.right for op in join_steps(planned_resident)]
+    order_s = [op.right for op in join_steps(planned_spilled)]
+    assert order_r == order_s
+
+
+def test_spill_penalty_charged_and_halved_when_copartitioned():
+    """The cost model charges spilled right sides, halved when the
+    right table's partition layout matches the probe side's."""
+    from dataclasses import replace as dc_replace
+
+    from repro.optimizer.cost import (
+        SPILL_REACCESS_WEIGHT,
+        _ChainJoin,
+        _chain_cost,
+    )
+
+    rng = random.Random(11)
+    db = star_database(rng, fact_rows=100)
+    stats = collect_statistics(db)["dim0"]
+
+    def step(spill_penalty):
+        return _ChainJoin(
+            join=Join("f", "d0", "j0", [("fk0", "key0")], how="inner"),
+            right_est=float(stats.rows),
+            right_rows=stats.rows,
+            match_fraction=1.0,
+            original_position=0,
+            spill_penalty=spill_penalty,
+        )
+
+    resident = dc_replace(stats, partitions=4, resident_fraction=1.0)
+    spilled = dc_replace(stats, partitions=4, resident_fraction=0.25)
+    penalty = SPILL_REACCESS_WEIGHT * spilled.rows * (
+        1.0 - spilled.resident_fraction
+    )
+    assert penalty > 0.0
+    assert (
+        SPILL_REACCESS_WEIGHT
+        * resident.rows
+        * (1.0 - resident.resident_fraction)
+        == 0.0
+    )
+    base_cost = _chain_cost(100.0, [step(0.0)])
+    assert _chain_cost(100.0, [step(penalty)]) == base_cost + penalty
+    # Co-partitioned halving, as applied by the chain builder.
+    assert (
+        _chain_cost(100.0, [step(penalty * 0.5)])
+        == base_cost + penalty / 2
+    )
